@@ -1,0 +1,232 @@
+(* The full evaluation harness: one entry per table/figure of the paper
+   (§6), plus bechamel microbenchmarks of the core kernels.
+
+     dune exec bench/main.exe            # everything, paper scale
+     dune exec bench/main.exe -- --quick # scaled-down sweep
+     dune exec bench/main.exe -- fig4a fig9 micro
+
+   Each experiment prints the same rows/series the paper reports, with the
+   paper's numbers quoted for comparison. See EXPERIMENTS.md for the
+   paper-vs-measured record. *)
+
+module E = Nf_experiments
+
+let quick = ref false
+
+let section name =
+  Format.printf "@.==== %s ====@." name
+
+let timed name f =
+  section name;
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Format.printf "@.(%s finished in %.1f s)@." name (Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Experiment wrappers *)
+
+let run_table1 () = Format.printf "%a@." E.Exp_table1.pp (E.Exp_table1.run ())
+
+let run_table2 () = Format.printf "%a@." E.Exp_table2.pp ()
+
+let run_fig2 () = Format.printf "%a@." E.Exp_fig2.pp (E.Exp_fig2.run ())
+
+let run_fig4a () =
+  let n_events = if !quick then 20 else 100 in
+  Format.printf "%a@." E.Exp_fig4a.pp (E.Exp_fig4a.run ~n_events ())
+
+let run_fig4bc () = Format.printf "%a@." E.Exp_fig4bc.pp (E.Exp_fig4bc.run ())
+
+let run_fig4a_packet () =
+  let n_events = if !quick then 3 else 5 in
+  Format.printf "%a@." E.Exp_fig4a.pp_packet (E.Exp_fig4a.run_packet ~n_events ())
+
+let run_fig5 () =
+  let n_flows = if !quick then 400 else 1500 in
+  Format.printf "%a@." E.Exp_fig5.pp (E.Exp_fig5.run ~n_flows ())
+
+let run_fig6a () =
+  let n_events = if !quick then 3 else 6 in
+  Format.printf "%a@." E.Exp_fig6.pp_dt (E.Exp_fig6.run_dt ~n_events ())
+
+let run_fig6b () =
+  let n_events = if !quick then 10 else 30 in
+  Format.printf "%a@." E.Exp_fig6.pp_interval (E.Exp_fig6.run_interval ~n_events ())
+
+let run_fig6c () =
+  let n_events = if !quick then 10 else 30 in
+  Format.printf "%a@." E.Exp_fig6.pp_alpha (E.Exp_fig6.run_alpha ~n_events ())
+
+let run_fig7 () =
+  let n_flows = if !quick then 300 else 1000 in
+  Format.printf "%a@." E.Exp_fig7.pp (E.Exp_fig7.run ~n_flows ())
+
+let run_fig8 () = Format.printf "%a@." E.Exp_fig8.pp (E.Exp_fig8.run ())
+
+let run_fig9 () = Format.printf "%a@." E.Exp_fig9.pp (E.Exp_fig9.run ())
+
+let run_fig10 () = Format.printf "%a@." E.Exp_fig10.pp (E.Exp_fig10.run ())
+
+let run_swift () = Format.printf "%a@." E.Exp_swift.pp (E.Exp_swift.run ())
+
+let run_queues () = Format.printf "%a@." E.Exp_queues.pp (E.Exp_queues.run ())
+
+let run_random () =
+  let instances_per_alpha = if !quick then 10 else 40 in
+  Format.printf "%a@." E.Exp_random.pp (E.Exp_random.run ~instances_per_alpha ())
+
+let run_ablation () =
+  let n_events = if !quick then 10 else 25 in
+  Format.printf "%a@." E.Exp_ablation.pp (E.Exp_ablation.run ~n_events ())
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks of the core kernels *)
+
+let micro_tests () =
+  let open Bechamel in
+  let ls = Nf_topo.Builders.paper_leaf_spine () in
+  let topology = ls.Nf_topo.Builders.topo in
+  let rng = Nf_util.Rng.create ~seed:99 in
+  let pairs =
+    Nf_workload.Traffic.random_pairs rng ~hosts:ls.Nf_topo.Builders.servers ~n:128
+  in
+  let paths =
+    Array.mapi
+      (fun i { Nf_workload.Traffic.src; dst } ->
+        Array.of_list
+          (Nf_topo.Routing.ecmp_path topology ~src ~dst ~hash:(i * 2654435761)))
+      pairs
+  in
+  let caps =
+    Array.map
+      (fun l -> l.Nf_topo.Topology.capacity)
+      (Nf_topo.Topology.links topology)
+  in
+  let weights = Array.init 128 (fun _ -> Nf_util.Rng.uniform rng ~lo:0.5 ~hi:4.) in
+  let problem =
+    Nf_num.Problem.create ~caps
+      ~groups:
+        (Array.to_list
+           (Array.map
+              (Nf_num.Problem.single_path (Nf_num.Utility.proportional_fair ()))
+              paths))
+  in
+  let xwi_state = Nf_num.Xwi_core.init problem in
+  let bf = Nf_num.Bandwidth_function.fig2_flow1 () in
+  let stfq_queue = Nf_sim.Queue_disc.stfq () in
+  let mk_packet seq =
+    Nf_sim.Packet.make_data ~flow:(seq mod 16) ~seq ~size:1500 ~path:[| 0 |] ~now:0.
+  in
+  let seq = ref 0 in
+  [
+    Test.make ~name:"maxmin_128_flows"
+      (Staged.stage (fun () ->
+           ignore (Nf_num.Maxmin.solve ~caps ~paths ~weights : Nf_num.Maxmin.result)));
+    Test.make ~name:"xwi_step_128_flows"
+      (Staged.stage (fun () ->
+           Nf_num.Xwi_core.step problem Nf_num.Xwi_core.default_params xwi_state));
+    Test.make ~name:"oracle_parking_lot"
+      (Staged.stage (fun () ->
+           let u = Nf_num.Utility.proportional_fair () in
+           let p =
+             Nf_num.Problem.create ~caps:[| 1e10; 1e10 |]
+               ~groups:
+                 [
+                   Nf_num.Problem.single_path u [| 0; 1 |];
+                   Nf_num.Problem.single_path u [| 0 |];
+                   Nf_num.Problem.single_path u [| 1 |];
+                 ]
+           in
+           ignore (Nf_num.Oracle.solve ~tol:1e-5 p : Nf_num.Oracle.solution)));
+    Test.make ~name:"stfq_enqueue_dequeue"
+      (Staged.stage (fun () ->
+           incr seq;
+           let p = mk_packet !seq in
+           p.Nf_sim.Packet.virtual_packet_len <- 1500. /. float_of_int (1 + (!seq mod 7));
+           ignore (stfq_queue.Nf_sim.Queue_disc.enqueue p : bool);
+           ignore (stfq_queue.Nf_sim.Queue_disc.dequeue () : Nf_sim.Packet.t option)));
+    Test.make ~name:"bandwidth_fn_waterfill"
+      (Staged.stage (fun () ->
+           ignore
+             (Nf_num.Bandwidth_function.single_link_allocation
+                ~bfs:[| bf; Nf_num.Bandwidth_function.fig2_flow2 () |]
+                ~capacity:25e9
+               : float array * float)));
+    Test.make ~name:"event_queue_1k"
+      (Staged.stage (fun () ->
+           let sim = Nf_engine.Sim.create () in
+           for i = 1 to 1000 do
+             Nf_engine.Sim.schedule sim ~at:(float_of_int (i mod 97)) (fun () -> ())
+           done;
+           Nf_engine.Sim.run sim));
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  let tests = Test.make_grouped ~name:"kernels" (micro_tests ()) in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name r ->
+      match Analyze.OLS.estimates r with
+      | Some [ ns ] -> rows := (name, ns) :: !rows
+      | Some _ | None -> ())
+    results;
+  Format.printf "@[<v>Microbenchmarks (ns per run, OLS):@,";
+  List.iter
+    (fun (name, ns) -> Format.printf "  %-32s %12.0f ns@," name ns)
+    (List.sort compare !rows);
+  Format.printf "@]@."
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("table1", run_table1);
+    ("table2", run_table2);
+    ("fig2", run_fig2);
+    ("fig4a", run_fig4a);
+    ("fig4a-packet", run_fig4a_packet);
+    ("fig4bc", run_fig4bc);
+    ("fig5", run_fig5);
+    ("fig6a", run_fig6a);
+    ("fig6b", run_fig6b);
+    ("fig6c", run_fig6c);
+    ("fig7", run_fig7);
+    ("fig8", run_fig8);
+    ("fig9", run_fig9);
+    ("fig10", run_fig10);
+    ("swift", run_swift);
+    ("queues", run_queues);
+    ("random", run_random);
+    ("ablation", run_ablation);
+    ("micro", run_micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args = List.filter (fun a -> a <> "--") args in
+  let quick_flag, selected = List.partition (fun a -> a = "--quick") args in
+  if quick_flag <> [] then quick := true;
+  let to_run =
+    match selected with
+    | [] -> experiments
+    | names ->
+      List.map
+        (fun name ->
+          match List.assoc_opt name experiments with
+          | Some f -> (name, f)
+          | None ->
+            Format.eprintf "unknown experiment %S; known: %s@." name
+              (String.concat ", " (List.map fst experiments));
+            exit 2)
+        names
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun (name, f) -> timed name f) to_run;
+  Format.printf "@.All done in %.1f s.@." (Unix.gettimeofday () -. t0)

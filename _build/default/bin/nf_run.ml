@@ -1,0 +1,177 @@
+(* nf_run: command-line front end for the NUMFabric reproduction.
+
+     nf_run list                 enumerate experiments
+     nf_run exp fig4a [--quick]  run one experiment
+     nf_run solve ...            one-off allocation on a leaf-spine
+*)
+
+module E = Nf_experiments
+
+let experiments : (string * string * (quick:bool -> unit)) list =
+  [
+    ( "table1",
+      "utility-function menu (Table 1)",
+      fun ~quick:_ -> Format.printf "%a@." E.Exp_table1.pp (E.Exp_table1.run ()) );
+    ( "table2",
+      "default parameters (Table 2)",
+      fun ~quick:_ -> Format.printf "%a@." E.Exp_table2.pp () );
+    ( "fig2",
+      "bandwidth-function water-filling example (Figure 2)",
+      fun ~quick:_ -> Format.printf "%a@." E.Exp_fig2.pp (E.Exp_fig2.run ()) );
+    ( "fig4a",
+      "convergence-time CDF, NUMFabric vs DGD vs RCP* (Figure 4a)",
+      fun ~quick ->
+        let n_events = if quick then 20 else 100 in
+        Format.printf "%a@." E.Exp_fig4a.pp (E.Exp_fig4a.run ~n_events ()) );
+    ( "fig4a-packet",
+      "Figure 4a's comparison at packet level (reduced scale)",
+      fun ~quick ->
+        let n_events = if quick then 3 else 5 in
+        Format.printf "%a@." E.Exp_fig4a.pp_packet (E.Exp_fig4a.run_packet ~n_events ()) );
+    ( "fig4bc",
+      "packet-level rate stability, DCTCP vs NUMFabric (Figures 4b/4c)",
+      fun ~quick:_ -> Format.printf "%a@." E.Exp_fig4bc.pp (E.Exp_fig4bc.run ()) );
+    ( "fig5",
+      "deviation from ideal rates, dynamic workloads (Figure 5)",
+      fun ~quick ->
+        let n_flows = if quick then 400 else 1500 in
+        Format.printf "%a@." E.Exp_fig5.pp (E.Exp_fig5.run ~n_flows ()) );
+    ( "fig6a",
+      "sensitivity to Swift's dt, packet level (Figure 6a)",
+      fun ~quick ->
+        let n_events = if quick then 3 else 6 in
+        Format.printf "%a@." E.Exp_fig6.pp_dt (E.Exp_fig6.run_dt ~n_events ()) );
+    ( "fig6b",
+      "sensitivity to the price-update interval (Figure 6b)",
+      fun ~quick ->
+        let n_events = if quick then 10 else 30 in
+        Format.printf "%a@." E.Exp_fig6.pp_interval
+          (E.Exp_fig6.run_interval ~n_events ()) );
+    ( "fig6c",
+      "sensitivity to alpha, 1x and 2x-slowed loops (Figure 6c)",
+      fun ~quick ->
+        let n_events = if quick then 10 else 30 in
+        Format.printf "%a@." E.Exp_fig6.pp_alpha (E.Exp_fig6.run_alpha ~n_events ()) );
+    ( "fig7",
+      "FCT vs load, NUMFabric vs pFabric (Figure 7)",
+      fun ~quick ->
+        let n_flows = if quick then 300 else 1000 in
+        Format.printf "%a@." E.Exp_fig7.pp (E.Exp_fig7.run ~n_flows ()) );
+    ( "fig8",
+      "multipath resource pooling (Figure 8)",
+      fun ~quick:_ -> Format.printf "%a@." E.Exp_fig8.pp (E.Exp_fig8.run ()) );
+    ( "fig9",
+      "bandwidth functions vs link capacity (Figure 9)",
+      fun ~quick:_ -> Format.printf "%a@." E.Exp_fig9.pp (E.Exp_fig9.run ()) );
+    ( "fig10",
+      "bandwidth functions + pooling, capacity change (Figure 10)",
+      fun ~quick:_ -> Format.printf "%a@." E.Exp_fig10.pp (E.Exp_fig10.run ()) );
+    ( "swift",
+      "packet-level Swift vs weighted max-min oracle",
+      fun ~quick:_ -> Format.printf "%a@." E.Exp_swift.pp (E.Exp_swift.run ()) );
+    ( "queues",
+      "equilibrium queue occupancy vs dt (packet level)",
+      fun ~quick:_ -> Format.printf "%a@." E.Exp_queues.pp (E.Exp_queues.run ()) );
+    ( "random",
+      "randomized xWI validation (tech-report style)",
+      fun ~quick ->
+        let instances_per_alpha = if quick then 10 else 40 in
+        Format.printf "%a@." E.Exp_random.pp
+          (E.Exp_random.run ~instances_per_alpha ()) );
+    ( "ablation",
+      "design-choice ablations (beta, eta, residual aggregation, burst)",
+      fun ~quick ->
+        let n_events = if quick then 10 else 25 in
+        Format.printf "%a@." E.Exp_ablation.pp (E.Exp_ablation.run ~n_events ()) );
+  ]
+
+open Cmdliner
+
+let list_cmd =
+  let doc = "List the available experiments." in
+  let run () =
+    List.iter
+      (fun (name, desc, _) -> Format.printf "  %-8s %s@." name desc)
+      experiments
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let quick_arg =
+  let doc = "Run a scaled-down version (for smoke tests)." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let exp_cmd =
+  let doc = "Run one experiment by name (see $(b,nf_run list))." in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME")
+  in
+  let run name quick =
+    match List.find_opt (fun (n, _, _) -> n = name) experiments with
+    | Some (_, _, f) ->
+      let t0 = Unix.gettimeofday () in
+      f ~quick;
+      Format.printf "(finished in %.1f s)@." (Unix.gettimeofday () -. t0)
+    | None ->
+      Format.eprintf "unknown experiment %S; try `nf_run list'@." name;
+      exit 2
+  in
+  Cmd.v (Cmd.info "exp" ~doc) Term.(const run $ name_arg $ quick_arg)
+
+let all_cmd =
+  let doc = "Run every experiment in sequence." in
+  let run quick =
+    List.iter
+      (fun (name, _, f) ->
+        Format.printf "@.==== %s ====@." name;
+        f ~quick)
+      experiments
+  in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ quick_arg)
+
+let solve_cmd =
+  let doc =
+    "Solve a one-off NUM allocation: N flows on random leaf-spine paths."
+  in
+  let flows_arg =
+    Arg.(value & opt int 8 & info [ "flows"; "n" ] ~docv:"N" ~doc:"Flow count.")
+  in
+  let alpha_arg =
+    Arg.(
+      value & opt float 1.
+      & info [ "alpha" ] ~docv:"ALPHA" ~doc:"Fairness parameter.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+  in
+  let run n alpha seed =
+    let ls = Nf_topo.Builders.leaf_spine ~n_leaves:2 ~n_spines:2 ~servers_per_leaf:4 () in
+    let rng = Nf_util.Rng.create ~seed in
+    let pairs =
+      Nf_workload.Traffic.random_pairs rng ~hosts:ls.Nf_topo.Builders.servers ~n
+    in
+    let demands =
+      Array.to_list
+        (Array.mapi
+           (fun i { Nf_workload.Traffic.src; dst } ->
+             Nf_core.Fabric.demand ~key:i ~src ~dst ())
+           pairs)
+    in
+    let plan =
+      Nf_core.Fabric.plan ~topology:ls.Nf_topo.Builders.topo
+        ~objective:(Nf_core.Objective.Alpha_fairness { alpha })
+        ~demands
+    in
+    Format.printf "@[<v>Optimal alpha-fair (alpha = %g) allocation:@," alpha;
+    List.iter
+      (fun (key, rate) ->
+        let { Nf_workload.Traffic.src; dst } = pairs.(key) in
+        Format.printf "  flow %d (%d -> %d): %.3f Gbps@," key src dst (rate /. 1e9))
+      (Nf_core.Fabric.optimal plan);
+    Format.printf "@]@."
+  in
+  Cmd.v (Cmd.info "solve" ~doc) Term.(const run $ flows_arg $ alpha_arg $ seed_arg)
+
+let () =
+  let doc = "NUMFabric (SIGCOMM 2016) reproduction toolkit" in
+  let info = Cmd.info "nf_run" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; exp_cmd; all_cmd; solve_cmd ]))

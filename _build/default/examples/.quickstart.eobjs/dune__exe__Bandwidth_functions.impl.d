@@ -1,0 +1,1 @@
+examples/bandwidth_functions.ml: Array Format List Nf_fluid Nf_num Nf_util

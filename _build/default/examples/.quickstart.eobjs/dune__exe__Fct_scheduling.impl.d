@@ -1,0 +1,1 @@
+examples/fct_scheduling.ml: Array Float Format List Nf_core Nf_sim Nf_topo Nf_util

@@ -1,0 +1,1 @@
+examples/fct_scheduling.mli:

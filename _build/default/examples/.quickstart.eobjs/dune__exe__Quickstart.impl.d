@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Nf_core Nf_sim Nf_topo

@@ -1,0 +1,1 @@
+examples/resource_pooling.ml: Array Format List Nf_fluid Nf_num Nf_topo Nf_util

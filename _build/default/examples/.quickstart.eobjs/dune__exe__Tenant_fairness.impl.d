@@ -1,0 +1,1 @@
+examples/tenant_fairness.ml: Array Format List Nf_num Nf_topo

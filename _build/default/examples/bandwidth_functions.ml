@@ -1,0 +1,62 @@
+(* Operator-defined bandwidth functions (BwE / §2 / Figure 2).
+
+   An operator writes two bandwidth-function curves: a latency-critical
+   service gets strict priority for its first 4 Gbps, then grows slowly; a
+   batch service gets nothing until the critical service is satisfied,
+   then ramps fast but is capped at 6 Gbps. NUMFabric turns the curves
+   into utility functions (Eq. 2, alpha = 5) and realizes the allocation
+   at every link speed.
+
+   Run with:  dune exec examples/bandwidth_functions.exe *)
+
+module Bf = Nf_num.Bandwidth_function
+module Piecewise = Nf_util.Piecewise
+module Problem = Nf_num.Problem
+
+let gbps = Nf_util.Units.gbps
+
+let critical =
+  (* 0 -> 4 Gbps over fair share [0, 1], then +1 Gbps per unit share. *)
+  Bf.create (Piecewise.of_points [ (0., 0.); (1., gbps 4.); (5., gbps 8.) ])
+
+let batch =
+  (* nothing until share 1, then steep to 6 Gbps at share 3, then flat. *)
+  Bf.create_strict
+    (Piecewise.of_points [ (0., 0.); (1., 0.); (3., gbps 6.); (10., gbps 6.) ])
+
+let allocate capacity =
+  (* Ground truth by water-filling... *)
+  let expected, fair_share =
+    Bf.single_link_allocation ~bfs:[| critical; batch |] ~capacity
+  in
+  (* ... and through NUMFabric's fluid xWI with the derived utilities. *)
+  let groups =
+    [
+      Problem.single_path (Bf.utility critical ~alpha:5.) [| 0 |];
+      Problem.single_path (Bf.utility batch ~alpha:5.) [| 0 |];
+    ]
+  in
+  let problem = Problem.create ~caps:[| capacity |] ~groups in
+  let scheme = Nf_fluid.Fluid_xwi.make problem in
+  for _ = 1 to 200 do
+    scheme.Nf_fluid.Scheme.step ()
+  done;
+  (expected, fair_share, scheme.Nf_fluid.Scheme.rates ())
+
+let () =
+  Format.printf
+    "@[<v>capacity | expected critical/batch | NUMFabric critical/batch | \
+     fair share@,";
+  List.iter
+    (fun c ->
+      let capacity = gbps c in
+      let expected, fair_share, got = allocate capacity in
+      Format.printf
+        "  %4.1f G  |    %5.2f / %5.2f       |     %5.2f / %5.2f        | \
+         %.2f@,"
+        c (expected.(0) /. 1e9) (expected.(1) /. 1e9) (got.(0) /. 1e9)
+        (got.(1) /. 1e9) fair_share)
+    [ 2.; 4.; 6.; 8.; 10.; 12. ];
+  Format.printf
+    "@,The critical service owns the first 4 Gbps; spare capacity goes to \
+     batch at 3 Gbps per unit fair share until its 6 Gbps cap.@]@."

@@ -1,0 +1,56 @@
+(* Minimizing flow completion times with a utility function (§2, §6.3).
+
+   Five flows of very different sizes share one 10 Gbps bottleneck. Under
+   fair sharing every flow gets 2 Gbps and small flows wait behind big
+   ones; under the FCT-minimization utility (weights ~ 1/size) the
+   allocation approximates Shortest-Flow-First and the mean FCT drops.
+   Both objectives run through the same packet-level NUMFabric — only the
+   utility functions change, which is the point of the paper.
+
+   Run with:  dune exec examples/fct_scheduling.exe *)
+
+module Fabric = Nf_core.Fabric
+module Objective = Nf_core.Objective
+module Builders = Nf_topo.Builders
+
+let sizes = [ 30e3; 100e3; 300e3; 1e6; 3e6 ]
+
+let run_objective name objective =
+  let sb = Builders.single_bottleneck ~n_senders:5 () in
+  let demands =
+    List.mapi
+      (fun i size ->
+        Fabric.demand ~size ~key:i ~src:sb.Builders.senders.(i)
+          ~dst:sb.Builders.receiver ())
+      sizes
+  in
+  let plan = Fabric.plan ~topology:sb.Builders.sb_topo ~objective ~demands in
+  let net = Fabric.simulate ~until:50e-3 plan in
+  let fcts =
+    List.mapi
+      (fun i size ->
+        match Nf_sim.Network.fct net i with
+        | Some fct -> (i, size, fct)
+        | None -> (i, size, Float.nan))
+      sizes
+  in
+  Format.printf "@[<v>%s:@," name;
+  List.iter
+    (fun (i, size, fct) ->
+      Format.printf "  flow %d (%a): FCT %a@," i Nf_util.Units.pp_bytes size
+        Nf_util.Units.pp_time fct)
+    fcts;
+  let mean =
+    List.fold_left (fun acc (_, _, f) -> acc +. f) 0. fcts
+    /. float_of_int (List.length fcts)
+  in
+  Format.printf "  mean FCT: %a@]@.@." Nf_util.Units.pp_time mean;
+  mean
+
+let () =
+  let fair = run_objective "Fair sharing (alpha = 1)" Objective.proportional_fairness in
+  let srpt = run_objective "FCT minimization (Table 1 row 3)" Objective.minimize_fct in
+  Format.printf
+    "Switching the utility function cut the mean FCT by %.0f%% without \
+     touching switches or transport.@."
+    (100. *. (1. -. (srpt /. fair)))

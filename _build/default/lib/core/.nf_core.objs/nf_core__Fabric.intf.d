@@ -1,0 +1,1 @@
+lib/core/fabric.mli: Nf_fluid Nf_num Nf_sim Nf_topo Objective

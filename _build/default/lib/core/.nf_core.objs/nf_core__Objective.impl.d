@@ -1,0 +1,1 @@
+lib/core/objective.ml: Nf_num Nf_util Printf

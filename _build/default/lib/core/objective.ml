@@ -1,0 +1,34 @@
+module Utility = Nf_num.Utility
+module Bf = Nf_num.Bandwidth_function
+
+type t =
+  | Alpha_fairness of { alpha : float }
+  | Weighted_fairness of { alpha : float; weight_of : int -> float }
+  | Minimize_fct of { eps : float }
+  | Resource_pooling of { alpha : float }
+  | Bandwidth_functions of { curve_of : int -> Bf.t; alpha : float }
+
+let proportional_fairness = Alpha_fairness { alpha = 1. }
+
+let minimize_fct = Minimize_fct { eps = 0.125 }
+
+let utility_for t ~key ~size =
+  match t with
+  | Alpha_fairness { alpha } -> Utility.alpha_fair ~alpha ()
+  | Weighted_fairness { alpha; weight_of } ->
+    Utility.alpha_fair ~weight:(weight_of key) ~alpha ()
+  | Minimize_fct { eps } ->
+    let size = if Nf_util.Fcmp.is_finite size && size > 0. then size else 1. in
+    Utility.fct ~size ~eps
+  | Resource_pooling { alpha } -> Utility.alpha_fair ~alpha ()
+  | Bandwidth_functions { curve_of; alpha } -> Bf.utility (curve_of key) ~alpha
+
+let describe = function
+  | Alpha_fairness { alpha } -> Printf.sprintf "alpha-fairness (alpha = %g)" alpha
+  | Weighted_fairness { alpha; _ } ->
+    Printf.sprintf "weighted alpha-fairness (alpha = %g)" alpha
+  | Minimize_fct { eps } -> Printf.sprintf "FCT minimization (eps = %g)" eps
+  | Resource_pooling { alpha } ->
+    Printf.sprintf "multipath resource pooling (alpha = %g)" alpha
+  | Bandwidth_functions { alpha; _ } ->
+    Printf.sprintf "bandwidth functions (alpha = %g)" alpha

@@ -1,0 +1,35 @@
+(** Operator-facing bandwidth-allocation objectives (§2, Table 1).
+
+    An objective is what the operator picks; NUMFabric turns it into
+    per-flow utility functions and realizes the NUM allocation. Each
+    constructor corresponds to a row of Table 1. *)
+
+type t =
+  | Alpha_fairness of { alpha : float }
+      (** α-fair allocation: 1 = proportional fairness, → ∞ = max-min. *)
+  | Weighted_fairness of { alpha : float; weight_of : int -> float }
+      (** Relative flow priorities via weights (keyed by flow id). *)
+  | Minimize_fct of { eps : float }
+      (** Shortest-Flow-First approximation: utility [(1/size) x^(1-ε)];
+          paper uses [ε = 0.125]. *)
+  | Resource_pooling of { alpha : float }
+      (** α-fairness over the {e aggregate} rate of each multipath group
+          (row 4 of Table 1). *)
+  | Bandwidth_functions of {
+      curve_of : int -> Nf_num.Bandwidth_function.t;
+      alpha : float;
+    }
+      (** BwE-style bandwidth functions; [alpha ≈ 5] per §6.3. *)
+
+val proportional_fairness : t
+(** [Alpha_fairness { alpha = 1. }]. *)
+
+val minimize_fct : t
+(** [Minimize_fct { eps = 0.125 }] (§6.3). *)
+
+val utility_for : t -> key:int -> size:float -> Nf_num.Utility.t
+(** The utility function NUMFabric installs at the sender of flow [key]
+    with flow size [size] bytes (only [Minimize_fct] uses the size; pass
+    [infinity] or any value for the others). *)
+
+val describe : t -> string

@@ -1,0 +1,70 @@
+type event = { time : float; seq : int; action : unit -> unit }
+
+type t = {
+  queue : event Nf_util.Heap.t;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable stopped : bool;
+  mutable processed : int;
+}
+
+let compare_events a b =
+  match compare a.time b.time with 0 -> compare a.seq b.seq | c -> c
+
+let create () =
+  {
+    queue = Nf_util.Heap.create ~cmp:compare_events;
+    clock = 0.;
+    next_seq = 0;
+    stopped = false;
+    processed = 0;
+  }
+
+let now t = t.clock
+
+let schedule t ~at action =
+  if at < t.clock then invalid_arg "Sim.schedule: event in the past";
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Nf_util.Heap.push t.queue { time = at; seq; action }
+
+let schedule_after t ~delay action =
+  if delay < 0. then invalid_arg "Sim.schedule_after: negative delay";
+  schedule t ~at:(t.clock +. delay) action
+
+let periodic t ?start ~interval action =
+  if interval <= 0. then invalid_arg "Sim.periodic: interval must be positive";
+  let first = match start with Some s -> s | None -> t.clock +. interval in
+  let rec fire () =
+    action ();
+    schedule_after t ~delay:interval fire
+  in
+  schedule t ~at:first fire
+
+let run ?until t =
+  t.stopped <- false;
+  let horizon = match until with Some u -> u | None -> infinity in
+  let continue = ref true in
+  while !continue && not t.stopped do
+    match Nf_util.Heap.peek t.queue with
+    | None ->
+      if Float.is_finite horizon then t.clock <- Float.max t.clock horizon;
+      continue := false
+    | Some ev ->
+      if ev.time > horizon then begin
+        t.clock <- horizon;
+        continue := false
+      end
+      else begin
+        ignore (Nf_util.Heap.pop t.queue);
+        t.clock <- ev.time;
+        t.processed <- t.processed + 1;
+        ev.action ()
+      end
+  done
+
+let stop t = t.stopped <- true
+
+let events_processed t = t.processed
+
+let pending t = Nf_util.Heap.length t.queue

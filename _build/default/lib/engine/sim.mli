@@ -1,0 +1,37 @@
+(** Discrete-event simulation core.
+
+    A simulator holds a virtual clock and a priority queue of events;
+    events scheduled at equal times fire in scheduling order (FIFO
+    tie-breaking by sequence number — essential for protocol determinism).
+    All of [nf_sim] runs on top of this. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time, seconds. Starts at 0. *)
+
+val schedule : t -> at:float -> (unit -> unit) -> unit
+(** @raise Invalid_argument if [at] is in the past. *)
+
+val schedule_after : t -> delay:float -> (unit -> unit) -> unit
+(** [schedule_after t ~delay f] = [schedule t ~at:(now t +. delay) f];
+    [delay] must be non-negative. *)
+
+val periodic : t -> ?start:float -> interval:float -> (unit -> unit) -> unit
+(** Fire [f] every [interval] seconds, starting at [start] (default: one
+    interval from now), until the simulation stops. *)
+
+val run : ?until:float -> t -> unit
+(** Process events in time order until the queue is empty, [until] is
+    reached (events at exactly [until] still fire), or {!stop} is called.
+    The clock ends at [min until last-event-time] or [until] if given. *)
+
+val stop : t -> unit
+(** Makes {!run} return after the current event. Can be called from inside
+    an event handler. *)
+
+val events_processed : t -> int
+
+val pending : t -> int

@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Array Float Format List Nf_num Nf_sim Nf_topo Nf_util Printf Psupport Support

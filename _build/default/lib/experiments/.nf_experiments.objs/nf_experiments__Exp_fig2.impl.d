@@ -1,0 +1,1 @@
+lib/experiments/exp_fig2.ml: Array Format List Nf_num Nf_util Support

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig5.ml: Array Format Hashtbl List Nf_fluid Nf_num Nf_topo Nf_util Nf_workload Support

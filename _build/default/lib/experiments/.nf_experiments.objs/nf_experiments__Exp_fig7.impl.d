@@ -1,0 +1,1 @@
+lib/experiments/exp_fig7.ml: Array Float Format Hashtbl List Nf_fluid Nf_num Nf_topo Nf_util Nf_workload Support

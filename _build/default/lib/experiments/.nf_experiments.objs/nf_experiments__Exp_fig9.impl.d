@@ -1,0 +1,1 @@
+lib/experiments/exp_fig9.ml: Array Float Format List Nf_fluid Nf_num Nf_util

@@ -1,0 +1,1 @@
+lib/experiments/exp_random.ml: Array Float Format List Nf_num Nf_util Stdlib

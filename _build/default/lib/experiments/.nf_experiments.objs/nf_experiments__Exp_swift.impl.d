@@ -1,0 +1,1 @@
+lib/experiments/exp_swift.ml: Array Float Format List Nf_num Nf_sim Nf_topo Nf_util Nf_workload Printf Support

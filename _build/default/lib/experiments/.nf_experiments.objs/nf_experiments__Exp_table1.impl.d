@@ -1,0 +1,1 @@
+lib/experiments/exp_table1.ml: Array Format List Nf_num Nf_util Printf Support

@@ -1,0 +1,1 @@
+lib/experiments/psupport.ml: Array Float Hashtbl List Nf_num Nf_sim Nf_topo Nf_util Nf_workload Stdlib Support

@@ -1,0 +1,1 @@
+lib/experiments/psupport.mli: Nf_num Nf_sim Nf_topo

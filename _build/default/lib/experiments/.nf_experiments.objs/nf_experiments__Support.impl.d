@@ -1,0 +1,1 @@
+lib/experiments/support.ml: Array Format List Nf_fluid Nf_num Nf_topo Nf_util Nf_workload

@@ -1,0 +1,1 @@
+lib/experiments/support.mli: Format Nf_fluid Nf_num Nf_topo Nf_workload

@@ -1,0 +1,51 @@
+(* Figure 2: the bandwidth-function example. Two flows with the curves of
+   Fig. 2 share one link; the BwE water-filling allocation is computed at
+   10 and 25 Gbps and cross-checked against the NUM solution with the
+   derived utility (Eq. 2, alpha = 5). *)
+
+module Bf = Nf_num.Bandwidth_function
+module Problem = Nf_num.Problem
+module Oracle = Nf_num.Oracle
+
+let gbps = Nf_util.Units.gbps
+
+type point = {
+  capacity : float;
+  waterfill : float array;  (* expected allocation per the BwE semantics *)
+  num : float array;  (* allocation from the NUM utility *)
+  fair_share : float;
+}
+
+type t = point list
+
+let run ?(alpha = 5.) () =
+  let bfs = [| Bf.fig2_flow1 (); Bf.fig2_flow2 () |] in
+  let point capacity =
+    let waterfill, fair_share = Bf.single_link_allocation ~bfs ~capacity in
+    let groups =
+      Array.to_list
+        (Array.map (fun bf -> Problem.single_path (Bf.utility bf ~alpha) [| 0 |]) bfs)
+    in
+    let num =
+      (Oracle.solve ~tol:1e-4 (Problem.create ~caps:[| capacity |] ~groups))
+        .Oracle.group_rates
+    in
+    { capacity; waterfill; num; fair_share }
+  in
+  [ point (gbps 10.); point (gbps 25.) ]
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>Figure 2: bandwidth functions on one link (water-filling vs NUM \
+     with the derived utility)@,";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf
+        "  link %a: waterfill flow1 %a flow2 %a (fair share %.2f) | NUM flow1 \
+         %a flow2 %a@,"
+        Support.pp_rate_gbps p.capacity Support.pp_rate_gbps p.waterfill.(0)
+        Support.pp_rate_gbps p.waterfill.(1) p.fair_share Support.pp_rate_gbps
+        p.num.(0) Support.pp_rate_gbps p.num.(1))
+    t;
+  Format.fprintf ppf
+    "  [paper: at 10 Gbps flow1 takes all; at 25 Gbps flow1 = 15, flow2 = 10]@]"

@@ -1,0 +1,170 @@
+(* Figure 6: parameter sensitivity of NUMFabric (§6.2).
+
+   (a) Swift's window slack dt — packet-level, since dt only exists where
+       there are real windows and queues;
+   (b) the xWI price-update interval — fluid semi-dynamic;
+   (c) the alpha of the fairness objective, with and without the 2x
+       slowdown of §6.2 — fluid semi-dynamic. *)
+
+type point = { x : float; median : float; unconverged : int }
+
+(* ------------------------------------------------------------------ *)
+(* (a) dt sensitivity, packet level *)
+
+type fig6a = point list
+
+let run_dt ?(seed = 11) ?(n_events = 5)
+    ?(dts = [ 3e-6; 6e-6; 12e-6; 18e-6; 24e-6 ]) () =
+  let ls = Nf_topo.Builders.leaf_spine ~n_leaves:2 ~n_spines:2 ~servers_per_leaf:4 () in
+  let setup = Psupport.default_setup ~seed ~n_events () in
+  List.map
+    (fun dt ->
+      let config = { Nf_sim.Config.default with Nf_sim.Config.dt_slack = dt } in
+      let r =
+        Psupport.semidyn ~config ~setup ~topology:ls.Nf_topo.Builders.topo
+          ~hosts:ls.Nf_topo.Builders.servers
+          ~utility_of:(fun _ -> Nf_num.Utility.proportional_fair ())
+          ()
+      in
+      {
+        x = dt;
+        median =
+          (if Array.length r.Psupport.times > 0 then
+             Nf_util.Stats.median r.Psupport.times
+           else Float.nan);
+        unconverged = r.Psupport.unconverged;
+      })
+    dts
+
+let pp_dt ppf t =
+  Format.fprintf ppf
+    "@[<v>Figure 6a: sensitivity to Swift's dt (packet level)@,\
+     \  dt (us)   median convergence (us)   unconverged events@,";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "  %5.0f     %8.0f                  %d@," (p.x *. 1e6)
+        (p.median *. 1e6) p.unconverged)
+    t;
+  Format.fprintf ppf
+    "  [paper: very small dt fails to converge; large dt slows convergence; \
+     sweet spot ~6 us]@]"
+
+(* ------------------------------------------------------------------ *)
+(* (b) price-update interval, fluid *)
+
+type fig6b = point list
+
+let sweep_topology () =
+  Nf_topo.Builders.leaf_spine ~n_leaves:4 ~n_spines:2 ~servers_per_leaf:8 ()
+
+let sweep_setup ~seed ~n_events =
+  let base = Support.default_semidyn ~seed ~n_events () in
+  { base with Support.n_paths = 250; flows_per_event = 25; active_min = 75; active_max = 125 }
+
+let run_interval ?(seed = 2) ?(n_events = 25)
+    ?(intervals = [ 30e-6; 48e-6; 64e-6; 96e-6; 128e-6 ]) () =
+  let ls = sweep_topology () in
+  let setup = sweep_setup ~seed ~n_events in
+  let scenario =
+    Support.semidyn_prepare ~setup ~topology:ls.Nf_topo.Builders.topo
+      ~hosts:ls.Nf_topo.Builders.servers ()
+  in
+  List.map
+    (fun interval ->
+      let scheme =
+        Support.Scheme_numfabric
+          { params = Nf_num.Xwi_core.default_params; interval }
+      in
+      let r = Support.semidyn_run ~scenario ~criteria:setup.Support.criteria ~scheme in
+      {
+        x = interval;
+        median =
+          (if Array.length r.Support.times > 0 then
+             Nf_util.Stats.median r.Support.times
+           else Float.nan);
+        unconverged = r.Support.unconverged;
+      })
+    intervals
+
+let pp_interval ppf t =
+  Format.fprintf ppf
+    "@[<v>Figure 6b: sensitivity to the price update interval (fluid)@,\
+     \  interval (us)   median convergence (us)   unconverged@,";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "  %7.0f         %8.0f                  %d@,"
+        (p.x *. 1e6) (p.median *. 1e6) p.unconverged)
+    t;
+  Format.fprintf ppf
+    "  [paper: median convergence time grows with the update interval]@]"
+
+(* ------------------------------------------------------------------ *)
+(* (c) alpha sensitivity, fluid, 1x and 2x slowdown *)
+
+type fig6c_point = { alpha : float; fast : point; slow : point }
+
+type fig6c = fig6c_point list
+
+let run_alpha ?(seed = 2) ?(n_events = 25)
+    ?(alphas = [ 0.25; 0.5; 1.; 2.; 4. ]) () =
+  let ls = sweep_topology () in
+  List.map
+    (fun alpha ->
+      let base = sweep_setup ~seed ~n_events in
+      let setup =
+        {
+          base with
+          Support.utility_of = (fun _ -> Nf_num.Utility.alpha_fair ~alpha ());
+        }
+      in
+      let scenario =
+        Support.semidyn_prepare ~setup ~topology:ls.Nf_topo.Builders.topo
+          ~hosts:ls.Nf_topo.Builders.servers ()
+      in
+      let point scheme =
+        let r =
+          Support.semidyn_run ~scenario ~criteria:setup.Support.criteria ~scheme
+        in
+        {
+          x = alpha;
+          median =
+            (if Array.length r.Support.times > 0 then
+               Nf_util.Stats.median r.Support.times
+             else Float.nan);
+          unconverged = r.Support.unconverged;
+        }
+      in
+      let fast =
+        point
+          (Support.Scheme_numfabric
+             { params = Nf_num.Xwi_core.default_params; interval = 30e-6 })
+      in
+      (* The paper's 2x slowdown doubles the price-update interval and the
+         measurement smoothing; in the fluid model the analogue is the
+         doubled interval plus heavier price averaging. *)
+      let slow =
+        point
+          (Support.Scheme_numfabric
+             {
+               params =
+                 { Nf_num.Xwi_core.default_params with Nf_num.Xwi_core.beta = 0.75 };
+               interval = 60e-6;
+             })
+      in
+      { alpha; fast; slow })
+    alphas
+
+let pp_alpha ppf t =
+  Format.fprintf ppf
+    "@[<v>Figure 6c: sensitivity to alpha (fluid; 1x and 2x-slowed control \
+     loop)@,\
+     \  alpha   1x: median (us) / unconverged   2x: median (us) / unconverged@,";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "  %5.2f      %8.0f / %d                %8.0f / %d@,"
+        p.alpha (p.fast.median *. 1e6) p.fast.unconverged
+        (p.slow.median *. 1e6) p.slow.unconverged)
+    t;
+  Format.fprintf ppf
+    "  [paper: extreme alphas need the slowed loop; the slowdown costs a \
+     modest increase in median time]@]"

@@ -1,0 +1,44 @@
+(** Packet-level experiment machinery: the semi-dynamic scenario of §6.1
+    driven through the full [nf_sim] packet simulator, with receiver-side
+    EWMA rate measurement (80 µs time constant) and the paper's
+    convergence criterion (95% of flows within 10% of the Oracle rates,
+    sustained), correcting for the measurement filter's rise time as in
+    §6.1. *)
+
+type setup = {
+  seed : int;
+  n_paths : int;
+  flows_per_event : int;
+  active_min : int;
+  active_max : int;
+  n_events : int;
+  event_spacing : float;  (** seconds between events *)
+  sample_every : float;  (** rate sampling period *)
+  sustain : float;  (** how long the criterion must hold *)
+  within : float;
+  fraction : float;
+}
+
+val default_setup : ?seed:int -> ?n_events:int -> unit -> setup
+(** A scaled-down instance sized for packet-level simulation: 40 paths,
+    6 flows/event, 12–20 active, 4 ms between events. *)
+
+type result = {
+  times : float array;  (** per-event convergence times (rise-time corrected) *)
+  unconverged : int;
+  drops : int;  (** total packet drops over the run *)
+}
+
+val semidyn :
+  ?config:Nf_sim.Config.t ->
+  ?protocol:Nf_sim.Network.protocol ->
+  setup:setup ->
+  topology:Nf_topo.Topology.t ->
+  hosts:int array ->
+  utility_of:(int -> Nf_num.Utility.t) ->
+  unit ->
+  result
+(** Runs the given protocol (default NUMFabric) through the event
+    sequence at packet level. The Oracle targets are the NUM optima for
+    [utility_of], so schemes that do not solve NUM (DCTCP, pFabric) will
+    simply report how far they end up from it. *)

@@ -1,0 +1,1 @@
+lib/fluid/convergence.ml: Array Nf_num Nf_util Scheme

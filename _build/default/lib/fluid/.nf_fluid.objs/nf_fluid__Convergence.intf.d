@@ -1,0 +1,1 @@
+lib/fluid/convergence.mli: Nf_num Scheme

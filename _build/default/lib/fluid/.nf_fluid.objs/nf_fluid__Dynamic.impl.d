@@ -1,0 +1,1 @@
+lib/fluid/dynamic.ml: Array Float List Nf_num Scheme

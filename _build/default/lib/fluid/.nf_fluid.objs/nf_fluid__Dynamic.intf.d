@@ -1,0 +1,1 @@
+lib/fluid/dynamic.mli: Nf_num Scheme

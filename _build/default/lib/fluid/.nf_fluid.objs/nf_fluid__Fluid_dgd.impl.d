@@ -1,0 +1,1 @@
+lib/fluid/fluid_dgd.ml: Array Float Nf_num Scheme Stdlib

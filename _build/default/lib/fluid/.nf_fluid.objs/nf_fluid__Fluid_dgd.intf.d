@@ -1,0 +1,1 @@
+lib/fluid/fluid_dgd.mli: Nf_num Scheme

@@ -1,0 +1,1 @@
+lib/fluid/fluid_rcp.ml: Array Float Nf_num Nf_util Scheme Stdlib

@@ -1,0 +1,1 @@
+lib/fluid/fluid_rcp.mli: Nf_num Scheme

@@ -1,0 +1,1 @@
+lib/fluid/fluid_xwi.ml: Array Nf_num Scheme

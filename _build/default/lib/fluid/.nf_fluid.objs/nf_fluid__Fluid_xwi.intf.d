@@ -1,0 +1,1 @@
+lib/fluid/fluid_xwi.mli: Nf_num Scheme

@@ -1,0 +1,1 @@
+lib/fluid/scheme.ml: Nf_num

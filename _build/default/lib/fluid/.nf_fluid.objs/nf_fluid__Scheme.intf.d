@@ -1,0 +1,1 @@
+lib/fluid/scheme.mli: Nf_num

@@ -1,0 +1,1 @@
+lib/fluid/srpt.ml: Array Float Nf_num Scheme

@@ -1,0 +1,1 @@
+lib/fluid/srpt.mli: Nf_num Scheme

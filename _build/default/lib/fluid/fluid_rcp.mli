@@ -1,0 +1,39 @@
+(** Fluid RCP*: the α-fair generalization of RCP that the paper uses as a
+    baseline (§6, Eqs. 15–16).
+
+    Every link advertises a fair rate [R_l], multiplicatively updated from
+    its spare capacity and queue:
+    [R <- R (1 + (T/d)(a (C - y) - b q/d) / C)];
+    each source sends at [x_i = (Σ_l R_l^-α)^(-1/α)], which reduces to
+    [min_l R_l] (standard max-min RCP) as [α -> ∞].
+
+    [alpha] is a property of the scheme instance (it must match the α-fair
+    utilities of the problems it is run against; the scheme itself never
+    reads the utility functions — RCP* has no notion of generic utilities,
+    which is exactly the flexibility gap the paper exploits). *)
+
+type params = {
+  gain_spare : float;  (** [a]; default 0.4 *)
+  gain_queue : float;  (** [b]; default 0.2 *)
+  mean_rtt : float;  (** [d], seconds; default 16 µs *)
+}
+
+val default_params : params
+
+val default_interval : float
+(** 16 µs (Table 2: RCP* rateUpdateInterval). *)
+
+val make :
+  ?params:params ->
+  ?interval:float ->
+  alpha:float ->
+  Nf_num.Problem.t ->
+  Scheme.t
+(** @raise Invalid_argument on multipath problems. *)
+
+val make_with_fair_rates :
+  ?params:params ->
+  ?interval:float ->
+  alpha:float ->
+  Nf_num.Problem.t ->
+  Scheme.t * (unit -> float array)

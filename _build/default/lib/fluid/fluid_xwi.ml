@@ -1,0 +1,33 @@
+module Problem = Nf_num.Problem
+module Xwi_core = Nf_num.Xwi_core
+
+let default_interval = 30e-6
+
+let make_with_prices ?(params = Xwi_core.default_params)
+    ?(interval = default_interval) problem =
+  let problem = ref problem in
+  let state = ref (Xwi_core.init !problem) in
+  let n_links = Problem.n_links !problem in
+  let step () = Xwi_core.step !problem params !state in
+  let rates () = Array.copy !state.Xwi_core.rates in
+  let rebind p =
+    if Problem.n_links p <> n_links then
+      invalid_arg "Fluid_xwi.rebind: link count changed";
+    let prices = !state.Xwi_core.prices in
+    problem := p;
+    state := Xwi_core.init_with_prices p ~prices
+  in
+  let scheme =
+    {
+      Scheme.name = "NUMFabric";
+      interval;
+      step;
+      rates;
+      rebind;
+      observe_remaining = Scheme.nop_observe;
+    }
+  in
+  (scheme, fun () -> Array.copy !state.Xwi_core.prices)
+
+let make ?params ?interval problem =
+  fst (make_with_prices ?params ?interval problem)

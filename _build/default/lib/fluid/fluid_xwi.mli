@@ -1,0 +1,24 @@
+(** Fluid NUMFabric: the xWI iteration of {!Nf_num.Xwi_core} packaged as a
+    {!Scheme.t}.
+
+    One round = one synchronized price update (Table 2:
+    priceUpdateInterval = 30 µs by default). Rebinding preserves link
+    prices across flow arrivals/departures, exactly as real switches
+    would. *)
+
+val default_interval : float
+(** 30 µs (Table 2). *)
+
+val make :
+  ?params:Nf_num.Xwi_core.params ->
+  ?interval:float ->
+  Nf_num.Problem.t ->
+  Scheme.t
+
+val make_with_prices :
+  ?params:Nf_num.Xwi_core.params ->
+  ?interval:float ->
+  Nf_num.Problem.t ->
+  Scheme.t * (unit -> float array)
+(** Like {!make} but also returns an accessor for a snapshot of the
+    current link prices (for instrumentation and tests). *)

@@ -1,0 +1,10 @@
+type t = {
+  name : string;
+  interval : float;
+  step : unit -> unit;
+  rates : unit -> float array;
+  rebind : Nf_num.Problem.t -> unit;
+  observe_remaining : float array -> unit;
+}
+
+let nop_observe (_ : float array) = ()

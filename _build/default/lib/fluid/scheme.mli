@@ -1,0 +1,31 @@
+(** The common interface of fluid (iteration-level) rate-control schemes.
+
+    A fluid scheme advances in synchronous rounds of [interval] seconds
+    (the price/rate-update interval of the real protocol) and exposes the
+    flow rates it would allocate. The fluid abstraction strips packet-level
+    noise — queueing jitter, measurement error, feedback staleness — and
+    isolates exactly the iterative dynamics the paper analyzes (xWI's
+    Eqs. 7–11, DGD's Eqs. 3/14, RCP*'s Eqs. 15–16), which govern
+    convergence speed. The packet-level realizations live in [nf_sim].
+
+    Schemes keep {e per-link} state (prices, fair rates, queues) that
+    survives changes to the flow population: {!rebind} swaps in a new
+    {!Nf_num.Problem.t} over the same links, which is how dynamic
+    workloads (flow arrivals/departures) are driven. *)
+
+type t = {
+  name : string;
+  interval : float;  (** seconds of simulated time per {!field-step} *)
+  step : unit -> unit;  (** advance one iteration *)
+  rates : unit -> float array;
+    (** current per-(sub-)flow rates; the array belongs to the caller
+        (fresh or stable snapshot, never mutated by later steps) *)
+  rebind : Nf_num.Problem.t -> unit;
+    (** replace the flow population; link count must be unchanged *)
+  observe_remaining : float array -> unit;
+    (** inform the scheme of per-group remaining bytes (used by
+        size-aware allocators like {!Srpt}); no-op for price-based
+        schemes *)
+}
+
+val nop_observe : float array -> unit

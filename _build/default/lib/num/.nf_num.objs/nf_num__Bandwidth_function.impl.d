@@ -1,0 +1,1 @@
+lib/num/bandwidth_function.ml: Array Float List Nf_util Printf Utility

@@ -1,0 +1,1 @@
+lib/num/bandwidth_function.mli: Nf_util Utility

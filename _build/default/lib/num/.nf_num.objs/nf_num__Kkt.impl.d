@@ -1,0 +1,1 @@
+lib/num/kkt.ml: Array Float Format Problem Utility

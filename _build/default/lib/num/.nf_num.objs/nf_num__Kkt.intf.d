@@ -1,0 +1,1 @@
+lib/num/kkt.mli: Format Problem

@@ -1,0 +1,1 @@
+lib/num/maxmin.ml: Array Float Problem

@@ -1,0 +1,1 @@
+lib/num/maxmin.mli: Problem

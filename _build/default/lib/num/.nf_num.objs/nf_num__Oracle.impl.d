@@ -1,0 +1,1 @@
+lib/num/oracle.ml: Array Float Format Kkt Maxmin Problem Utility Xwi_core

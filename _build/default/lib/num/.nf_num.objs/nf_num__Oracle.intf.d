@@ -1,0 +1,1 @@
+lib/num/oracle.mli: Kkt Problem

@@ -1,0 +1,1 @@
+lib/num/problem.ml: Array Hashtbl List Printf Utility

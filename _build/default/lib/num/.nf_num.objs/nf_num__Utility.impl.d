@@ -1,0 +1,1 @@
+lib/num/utility.ml: Float Format Printf

@@ -1,0 +1,1 @@
+lib/num/xwi_core.ml: Array Float Kkt Maxmin Nf_util Problem Stdlib Utility

@@ -1,0 +1,1 @@
+lib/num/xwi_core.mli: Problem

@@ -1,0 +1,189 @@
+module Piecewise = Nf_util.Piecewise
+
+type t = {
+  b : Piecewise.t;  (* B : fair share -> bandwidth, strictly increasing *)
+  f : Piecewise.t;  (* F = B^-1 : bandwidth -> fair share *)
+}
+
+let invert_curve b =
+  (* Swap coordinates; requires strictly increasing values. *)
+  Piecewise.of_points (List.map (fun (x, y) -> (y, x)) (Piecewise.points b))
+
+let create curve =
+  (match Piecewise.points curve with
+  | (x0, y0) :: _ when x0 = 0. && y0 = 0. -> ()
+  | _ -> invalid_arg "Bandwidth_function.create: curve must start at (0, 0)");
+  if not (Piecewise.strictly_increasing curve) then
+    invalid_arg
+      "Bandwidth_function.create: curve must be strictly increasing (use create_strict)";
+  { b = curve; f = invert_curve curve }
+
+let create_strict ?slope_floor curve =
+  (match Piecewise.points curve with
+  | (x0, y0) :: _ when x0 = 0. && y0 = 0. -> ()
+  | _ -> invalid_arg "Bandwidth_function.create_strict: curve must start at (0, 0)");
+  let pts = Piecewise.points curve in
+  let max_y = List.fold_left (fun acc (_, y) -> Float.max acc y) 0. pts in
+  let floor =
+    match slope_floor with
+    | Some s -> s
+    | None -> Float.max (1e-6 *. max_y) 1e-6
+  in
+  let rec rebuild prev_x prev_y = function
+    | [] -> []
+    | (x, y) :: rest ->
+      let min_y = prev_y +. (floor *. (x -. prev_x)) in
+      let y' = Float.max y min_y in
+      (x, y') :: rebuild x y' rest
+  in
+  let fixed =
+    match pts with
+    | [] -> invalid_arg "Bandwidth_function.create_strict: empty curve"
+    | (x0, y0) :: rest -> (x0, y0) :: rebuild x0 y0 rest
+  in
+  create (Piecewise.of_points fixed)
+
+let bandwidth t f =
+  if f < 0. then invalid_arg "Bandwidth_function.bandwidth: negative fair share";
+  Piecewise.eval t.b f
+
+let fair_share t x =
+  if x < 0. then invalid_arg "Bandwidth_function.fair_share: negative bandwidth";
+  if x = 0. then 0. else Piecewise.inverse t.b x
+
+let curve t = t.b
+
+let utility t ~alpha =
+  if not (alpha > 0.) then
+    invalid_arg "Bandwidth_function.utility: alpha must be positive";
+  let max_y =
+    List.fold_left (fun acc (_, y) -> Float.max acc y) 0. (Piecewise.points t.b)
+  in
+  let x_floor = Float.max (1e-9 *. max_y) 1e-30 in
+  let value x =
+    let x = Float.max x x_floor in
+    Piecewise.integral_pow_between t.f ~alpha ~lo:x_floor ~hi:x
+  in
+  let deriv x =
+    let fs = fair_share t (Float.max x x_floor) in
+    Float.max fs 1e-30 ** -.alpha
+  in
+  let inv_deriv p = bandwidth t (p ** (-1. /. alpha)) in
+  Utility.make
+    ~name:(Printf.sprintf "bandwidth_function(alpha=%g)" alpha)
+    ~value ~deriv ~inv_deriv
+
+let max_fair_share = 1e9
+
+let single_link_allocation ~bfs ~capacity =
+  if Array.length bfs = 0 then
+    invalid_arg "Bandwidth_function.single_link_allocation: no flows";
+  if not (capacity > 0.) then
+    invalid_arg "Bandwidth_function.single_link_allocation: capacity must be positive";
+  let total f = Array.fold_left (fun acc bf -> acc +. bandwidth bf f) 0. bfs in
+  if total max_fair_share <= capacity then
+    (Array.map (fun bf -> bandwidth bf max_fair_share) bfs, max_fair_share)
+  else begin
+    let lo = ref 0. and hi = ref 1. in
+    while total !hi < capacity do
+      hi := !hi *. 2.
+    done;
+    for _ = 1 to 100 do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if total mid <= capacity then lo := mid else hi := mid
+    done;
+    (Array.map (fun bf -> bandwidth bf !lo) bfs, !lo)
+  end
+
+let waterfill ~caps ~paths ~bfs =
+  let n_flows = Array.length bfs and n_links = Array.length caps in
+  if Array.length paths <> n_flows then
+    invalid_arg "Bandwidth_function.waterfill: paths/bfs length mismatch";
+  Array.iter
+    (fun path ->
+      if Array.length path = 0 then invalid_arg "Bandwidth_function.waterfill: empty path";
+      Array.iter
+        (fun l ->
+          if l < 0 || l >= n_links then
+            invalid_arg "Bandwidth_function.waterfill: bad link id")
+        path)
+    paths;
+  let frozen = Array.make n_flows false in
+  let frozen_rate = Array.make n_flows 0. in
+  (* Load of link l when all active flows sit at fair share f. *)
+  let load l f =
+    let acc = ref 0. in
+    Array.iteri
+      (fun i path ->
+        if Array.exists (fun lid -> lid = l) path then
+          acc := !acc +. (if frozen.(i) then frozen_rate.(i) else bandwidth bfs.(i) f))
+      paths;
+    !acc
+  in
+  let some_link_saturated f =
+    let hit = ref false in
+    for l = 0 to n_links - 1 do
+      (* Only links carrying an active flow can newly saturate. *)
+      let has_active =
+        Array.exists
+          (fun i -> not frozen.(i) && Array.exists (fun lid -> lid = l) paths.(i))
+          (Array.init n_flows (fun i -> i))
+      in
+      if has_active && load l f >= caps.(l) *. (1. -. 1e-12) then hit := true
+    done;
+    !hit
+  in
+  let level = ref 0. in
+  let n_active = ref n_flows in
+  while !n_active > 0 && !level < max_fair_share do
+    if not (some_link_saturated max_fair_share) then begin
+      (* Remaining flows are unconstrained up to the search bound. *)
+      for i = 0 to n_flows - 1 do
+        if not frozen.(i) then begin
+          frozen.(i) <- true;
+          frozen_rate.(i) <- bandwidth bfs.(i) max_fair_share;
+          decr n_active
+        end
+      done;
+      level := max_fair_share
+    end
+    else begin
+      (* Binary search the smallest f >= level where a link saturates. *)
+      let lo = ref !level and hi = ref (Float.max (2. *. Float.max !level 1.) 1.) in
+      while (not (some_link_saturated !hi)) && !hi < max_fair_share do
+        hi := !hi *. 2.
+      done;
+      hi := Float.min !hi max_fair_share;
+      for _ = 1 to 100 do
+        let mid = 0.5 *. (!lo +. !hi) in
+        if some_link_saturated mid then hi := mid else lo := mid
+      done;
+      let f_star = !hi in
+      level := f_star;
+      (* Freeze active flows crossing a saturated link at f_star. *)
+      for l = 0 to n_links - 1 do
+        if load l f_star >= caps.(l) *. (1. -. 1e-9) then
+          Array.iteri
+            (fun i path ->
+              if (not frozen.(i)) && Array.exists (fun lid -> lid = l) path then begin
+                frozen.(i) <- true;
+                frozen_rate.(i) <- bandwidth bfs.(i) f_star;
+                decr n_active
+              end)
+            paths
+      done
+    end
+  done;
+  Array.mapi
+    (fun i bf -> if frozen.(i) then frozen_rate.(i) else bandwidth bf !level)
+    bfs
+
+let gbps = Nf_util.Units.gbps
+
+let fig2_flow1 () =
+  create (Piecewise.of_points [ (0., 0.); (2., gbps 10.); (2.5, gbps 15.) ])
+
+let fig2_flow2 () =
+  create_strict
+    (Piecewise.of_points
+       [ (0., 0.); (2., 0.); (2.5, gbps 10.); (100., gbps 10.) ])

@@ -1,0 +1,56 @@
+type report = {
+  stationarity : float;
+  unused_direction : float;
+  feasibility : float;
+  slackness : float;
+}
+
+let worst r =
+  Float.max r.stationarity
+    (Float.max r.unused_direction (Float.max r.feasibility r.slackness))
+
+let check ?(used_threshold = 1e-6) problem ~rates ~prices =
+  let n_flows = Problem.n_flows problem in
+  let n_links = Problem.n_links problem in
+  if Array.length rates <> n_flows then invalid_arg "Kkt.check: rates length";
+  if Array.length prices <> n_links then invalid_arg "Kkt.check: prices length";
+  let caps = Problem.caps problem in
+  let loads = Problem.link_loads problem ~rates in
+  let stationarity = ref 0. and unused_direction = ref 0. in
+  for i = 0 to n_flows - 1 do
+    let g = Problem.flow_group problem i in
+    let y = Problem.group_rate problem ~rates g in
+    let marginal = (Problem.group_utility problem g).Utility.deriv y in
+    let price = Problem.path_price problem ~prices i in
+    let scale = Float.max marginal 1e-30 in
+    let used = rates.(i) > used_threshold *. Float.max y 1e-30 in
+    if used then
+      stationarity := Float.max !stationarity (Float.abs (marginal -. price) /. scale)
+    else
+      unused_direction :=
+        Float.max !unused_direction (Float.max 0. (marginal -. price) /. scale)
+  done;
+  let feasibility = ref 0. in
+  for l = 0 to n_links - 1 do
+    feasibility :=
+      Float.max !feasibility (Float.max 0. (loads.(l) -. caps.(l)) /. caps.(l))
+  done;
+  let p_ref = Array.fold_left Float.max 0. prices in
+  let slackness = ref 0. in
+  if p_ref > 0. then
+    for l = 0 to n_links - 1 do
+      let slack = Float.max 0. (caps.(l) -. loads.(l)) in
+      slackness :=
+        Float.max !slackness (prices.(l) *. slack /. (p_ref *. caps.(l)))
+    done;
+  {
+    stationarity = !stationarity;
+    unused_direction = !unused_direction;
+    feasibility = !feasibility;
+    slackness = !slackness;
+  }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "stationarity=%.3g unused=%.3g feasibility=%.3g slackness=%.3g"
+    r.stationarity r.unused_direction r.feasibility r.slackness

@@ -1,0 +1,43 @@
+(** KKT residuals for a NUM problem (Eqs. 5–6 of the paper).
+
+    Rates and prices are optimal iff they are feasible and
+
+    - stationarity: for every group [g] and every {e used} sub-flow [i]
+      (positive rate), [U'_g(y_g) = Σ_{l ∈ L(i)} p_l]; unused sub-flows
+      must have path price at least [U'_g(y_g)] (otherwise sending on them
+      would improve the objective);
+    - complementary slackness: [p_l (Σ_{i ∈ S(l)} x_i - c_l) = 0].
+
+    The residuals reported here are all relative and dimensionless, so a
+    report with every field below ~1e-6 certifies (numerically) that an
+    allocation solves the NUM problem — this is how the test suite
+    validates solvers without trusting any one of them. *)
+
+type report = {
+  stationarity : float;
+    (** max over used sub-flows of
+        [|U'_g(y_g) - path_price| / max(U'_g(y_g), tiny)] *)
+  unused_direction : float;
+    (** max over unused sub-flows of
+        [(U'_g(y_g) - path_price)+ / max(U'_g(y_g), tiny)]: positive when
+        an idle sub-flow sees a path cheaper than the group's marginal
+        utility. 0 for single-path problems. *)
+  feasibility : float;  (** max over links of [(load - cap)+ / cap] *)
+  slackness : float;
+    (** max over links of [p_l * (cap - load)+ / (p_ref * cap)], where
+        [p_ref] is the largest link price (0 if all prices are 0). *)
+}
+
+val worst : report -> float
+(** The largest of the four residuals. *)
+
+val check :
+  ?used_threshold:float ->
+  Problem.t ->
+  rates:float array ->
+  prices:float array ->
+  report
+(** [used_threshold] (default 1e-6) is the fraction of the group rate below
+    which a sub-flow counts as unused. *)
+
+val pp : Format.formatter -> report -> unit

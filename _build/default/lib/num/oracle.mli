@@ -1,0 +1,35 @@
+(** Exact NUM solvers ("Oracle" of §6).
+
+    Two independent methods are provided so that each can certify the
+    other (and the packet-level system) in tests:
+
+    - {!solve_dual}: classical dual (sub)gradient descent with backtracking
+      line search — independent of the xWI machinery but restricted to
+      single-path problems (the multipath dual is non-smooth);
+    - {!solve}: damped xWI fixed-point iteration run to a tight tolerance —
+      handles multipath groups; its output is certified by the returned
+      KKT residuals, which are checked against an explicit tolerance.
+
+    Both return the KKT report so callers never have to trust the solver
+    blindly. *)
+
+type solution = {
+  rates : float array;  (** per sub-flow *)
+  group_rates : float array;
+  prices : float array;
+  iterations : int;
+  kkt : Kkt.report;
+}
+
+exception Did_not_converge of string
+
+val solve_dual : ?tol:float -> ?max_iters:int -> Problem.t -> solution
+(** Dual gradient descent; [tol] (default 1e-8) bounds the worst KKT
+    residual of the returned solution.
+    @raise Invalid_argument on multipath problems.
+    @raise Did_not_converge if the residual target is not met. *)
+
+val solve : ?tol:float -> ?max_iters:int -> Problem.t -> solution
+(** xWI fixed point run to stationarity; [tol] (default 1e-6) bounds the
+    worst KKT residual.
+    @raise Did_not_converge if the residual target is not met. *)

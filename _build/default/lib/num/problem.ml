@@ -1,0 +1,131 @@
+type group_spec = { utility : Utility.t; paths : int array list }
+
+let single_path utility path = { utility; paths = [ path ] }
+
+type t = {
+  capacities : float array;
+  flow_paths : int array array;  (* flow -> link ids *)
+  groups_of_flow : int array;
+  members : int array array;  (* group -> flow ids *)
+  utilities : Utility.t array;  (* group -> utility *)
+  flows_on_link : int array array;  (* link -> flow ids *)
+}
+
+let create ~caps ~groups =
+  if groups = [] then invalid_arg "Problem.create: no groups";
+  let n_links = Array.length caps in
+  Array.iteri
+    (fun i c ->
+      if not (c > 0.) then
+        invalid_arg (Printf.sprintf "Problem.create: capacity %d not positive" i))
+    caps;
+  let rev_paths = ref [] and rev_group_of_flow = ref [] in
+  let n_flows = ref 0 in
+  let members =
+    Array.of_list
+      (List.mapi
+         (fun g spec ->
+           if spec.paths = [] then invalid_arg "Problem.create: group with no paths";
+           let ids =
+             List.map
+               (fun path ->
+                 if Array.length path = 0 then
+                   invalid_arg "Problem.create: empty path";
+                 Array.iter
+                   (fun lid ->
+                     if lid < 0 || lid >= n_links then
+                       invalid_arg "Problem.create: link id out of range")
+                   path;
+                 let id = !n_flows in
+                 incr n_flows;
+                 rev_paths := Array.copy path :: !rev_paths;
+                 rev_group_of_flow := g :: !rev_group_of_flow;
+                 id)
+               spec.paths
+           in
+           Array.of_list ids)
+         groups)
+  in
+  let flow_paths = Array.of_list (List.rev !rev_paths) in
+  let groups_of_flow = Array.of_list (List.rev !rev_group_of_flow) in
+  let utilities = Array.of_list (List.map (fun s -> s.utility) groups) in
+  let on_link = Array.make n_links [] in
+  Array.iteri
+    (fun i path ->
+      (* Dedup repeated links on a path (shouldn't happen, but keeps the
+         incidence structure a set). *)
+      let seen = Hashtbl.create 8 in
+      Array.iter
+        (fun lid ->
+          if not (Hashtbl.mem seen lid) then begin
+            Hashtbl.add seen lid ();
+            on_link.(lid) <- i :: on_link.(lid)
+          end)
+        path)
+    flow_paths;
+  let flows_on_link = Array.map (fun l -> Array.of_list (List.rev l)) on_link in
+  {
+    capacities = Array.copy caps;
+    flow_paths;
+    groups_of_flow;
+    members;
+    utilities;
+    flows_on_link;
+  }
+
+let n_links t = Array.length t.capacities
+
+let n_flows t = Array.length t.flow_paths
+
+let n_groups t = Array.length t.members
+
+let caps t = t.capacities
+
+let flow_path t i = t.flow_paths.(i)
+
+let flow_group t i = t.groups_of_flow.(i)
+
+let path_len t i = Array.length t.flow_paths.(i)
+
+let group_members t g = t.members.(g)
+
+let group_utility t g = t.utilities.(g)
+
+let link_flows t l = t.flows_on_link.(l)
+
+let group_rate t ~rates g =
+  Array.fold_left (fun acc i -> acc +. rates.(i)) 0. t.members.(g)
+
+let group_rates t ~rates = Array.init (n_groups t) (group_rate t ~rates)
+
+let link_loads t ~rates =
+  let loads = Array.make (n_links t) 0. in
+  Array.iteri
+    (fun i path ->
+      let x = rates.(i) in
+      Array.iter (fun lid -> loads.(lid) <- loads.(lid) +. x) path)
+    t.flow_paths;
+  loads
+
+let path_price t ~prices i =
+  Array.fold_left (fun acc lid -> acc +. prices.(lid)) 0. t.flow_paths.(i)
+
+let is_single_path t =
+  Array.for_all (fun m -> Array.length m = 1) t.members
+
+let total_utility t ~rates =
+  let total = ref 0. in
+  for g = 0 to n_groups t - 1 do
+    total := !total +. t.utilities.(g).Utility.value (group_rate t ~rates g)
+  done;
+  !total
+
+let feasible ?(tol = 1e-6) t ~rates =
+  Array.for_all (fun x -> x >= 0.) rates
+  &&
+  let loads = link_loads t ~rates in
+  let ok = ref true in
+  Array.iteri
+    (fun l load -> if load > t.capacities.(l) *. (1. +. tol) then ok := false)
+    loads;
+  !ok

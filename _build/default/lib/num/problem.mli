@@ -1,0 +1,70 @@
+(** A network utility maximization problem instance:
+
+    maximize [Σ_g U_g(y_g)] subject to [R x <= c], where each {e group} [g]
+    owns one or more {e flows} (sub-flows), [y_g] is the sum of the rates
+    of the group's flows, and [R] is the flow-on-link routing matrix.
+
+    Single-path flows are singleton groups; multipath (resource-pooling)
+    flows are groups with one member per sub-flow path (row 4 of Table 1).
+    Flows and groups are indexed densely so that algorithms can work with
+    flat float arrays ([rates.(flow)], [prices.(link)]). *)
+
+type group_spec = {
+  utility : Utility.t;
+  paths : int array list;  (** one non-empty link-id path per sub-flow *)
+}
+
+val single_path : Utility.t -> int array -> group_spec
+(** A one-sub-flow group. *)
+
+type t
+
+val create : caps:float array -> groups:group_spec list -> t
+(** @raise Invalid_argument on empty paths, out-of-range link ids,
+    non-positive capacities, or an empty group list. *)
+
+val n_links : t -> int
+
+val n_flows : t -> int
+(** Total sub-flow count. *)
+
+val n_groups : t -> int
+
+val caps : t -> float array
+(** The live capacity array. Mutating it is allowed and is how dynamic
+    experiments change link speeds (Figure 10); algorithms read it on
+    every iteration. *)
+
+val flow_path : t -> int -> int array
+
+val flow_group : t -> int -> int
+
+val path_len : t -> int -> int
+(** [|L(i)|] of the paper: number of links on flow [i]'s path. *)
+
+val group_members : t -> int -> int array
+
+val group_utility : t -> int -> Utility.t
+
+val link_flows : t -> int -> int array
+(** Flows crossing the given link ([S(l)] of the paper). *)
+
+val group_rate : t -> rates:float array -> int -> float
+(** [y_g = Σ_{i ∈ g} rates.(i)]. *)
+
+val group_rates : t -> rates:float array -> float array
+
+val link_loads : t -> rates:float array -> float array
+(** Traffic per link under the given flow rates. *)
+
+val path_price : t -> prices:float array -> int -> float
+(** [Σ_{l ∈ L(i)} prices.(l)] for flow [i]. *)
+
+val is_single_path : t -> bool
+(** All groups are singletons. *)
+
+val total_utility : t -> rates:float array -> float
+
+val feasible : ?tol:float -> t -> rates:float array -> bool
+(** No link loaded beyond [cap * (1 + tol)] (default [tol = 1e-6]) and all
+    rates non-negative. *)

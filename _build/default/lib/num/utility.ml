@@ -1,0 +1,65 @@
+type t = {
+  name : string;
+  value : float -> float;
+  deriv : float -> float;
+  inv_deriv : float -> float;
+}
+
+let make ~name ~value ~deriv ~inv_deriv = { name; value; deriv; inv_deriv }
+
+let min_rate = 1e-12
+
+let alpha_fair ?(weight = 1.) ~alpha () =
+  if not (alpha > 0.) then invalid_arg "Utility.alpha_fair: alpha must be positive";
+  if not (weight > 0.) then invalid_arg "Utility.alpha_fair: weight must be positive";
+  let name = Printf.sprintf "alpha_fair(alpha=%g,w=%g)" alpha weight in
+  if Float.abs (alpha -. 1.) < 1e-12 then
+    {
+      name;
+      value = (fun x -> weight *. log (Float.max x min_rate));
+      deriv = (fun x -> weight /. Float.max x min_rate);
+      inv_deriv = (fun p -> weight /. p);
+    }
+  else begin
+    let walpha = weight ** alpha in
+    {
+      name;
+      value =
+        (fun x -> walpha *. ((Float.max x min_rate) ** (1. -. alpha)) /. (1. -. alpha));
+      deriv = (fun x -> walpha *. ((Float.max x min_rate) ** -.alpha));
+      inv_deriv = (fun p -> weight *. (p ** (-1. /. alpha)));
+    }
+  end
+
+let proportional_fair ?(weight = 1.) () = alpha_fair ~weight ~alpha:1. ()
+
+let fct ~size ~eps =
+  if not (size > 0.) then invalid_arg "Utility.fct: size must be positive";
+  if not (eps > 0. && eps < 1.) then invalid_arg "Utility.fct: eps must be in (0, 1)";
+  let u = alpha_fair ~weight:(size ** (-1. /. eps)) ~alpha:eps () in
+  { u with name = Printf.sprintf "fct(size=%g,eps=%g)" size eps }
+
+let deadline ~deadline ~eps =
+  if not (deadline > 0.) then invalid_arg "Utility.deadline: deadline must be positive";
+  if not (eps > 0. && eps < 1.) then
+    invalid_arg "Utility.deadline: eps must be in (0, 1)";
+  let u = alpha_fair ~weight:(deadline ** (-1. /. eps)) ~alpha:eps () in
+  { u with name = Printf.sprintf "deadline(d=%g,eps=%g)" deadline eps }
+
+let fct_remaining ~remaining ~eps =
+  let u = fct ~size:(Float.max remaining 1.) ~eps in
+  { u with name = Printf.sprintf "fct_remaining(r=%g,eps=%g)" remaining eps }
+
+let min_price = 1e-300
+
+let max_rate_cap = 1e300
+
+let rate_from_price u ?max_rate p =
+  let rate = u.inv_deriv (Float.max p min_price) in
+  (* Guard against overflow to infinity for steep inverses (e.g. alpha =
+     0.125 raises the price to the power -8): relative ordering between
+     flows is all that matters for weights, so a huge finite cap is safe. *)
+  let rate = if Float.is_finite rate then Float.min rate max_rate_cap else max_rate_cap in
+  match max_rate with None -> rate | Some m -> Float.min rate m
+
+let pp ppf u = Format.pp_print_string ppf u.name

@@ -1,0 +1,191 @@
+type residual_agg = Agg_min | Agg_mean
+
+type params = { eta : float; beta : float; residual_agg : residual_agg }
+
+let default_params = { eta = 5.; beta = 0.5; residual_agg = Agg_min }
+
+type state = {
+  prices : float array;
+  mutable rates : float array;
+  mutable weights : float array;
+}
+
+let equal_weight_rates problem =
+  let weights = Array.make (Problem.n_flows problem) 1. in
+  (Maxmin.solve_problem problem ~weights).Maxmin.rates
+
+let seed_prices problem ~rates =
+  (* p_l = max over flows on l of U'_g(y_g) / |L(i)|: the price each link
+     would carry if it were the only bottleneck of its steepest flow. *)
+  let n_links = Problem.n_links problem in
+  let prices = Array.make n_links 0. in
+  for i = 0 to Problem.n_flows problem - 1 do
+    let g = Problem.flow_group problem i in
+    let y = Problem.group_rate problem ~rates g in
+    let marginal = (Problem.group_utility problem g).Utility.deriv (Float.max y 1e-12) in
+    let share = marginal /. float_of_int (Problem.path_len problem i) in
+    Array.iter
+      (fun l -> if share > prices.(l) then prices.(l) <- share)
+      (Problem.flow_path problem i)
+  done;
+  prices
+
+let flow_weights problem ~prices ~prev_rates =
+  let n_flows = Problem.n_flows problem in
+  let weights = Array.make n_flows 0. in
+  for g = 0 to Problem.n_groups problem - 1 do
+    let members = Problem.group_members problem g in
+    let u = Problem.group_utility problem g in
+    if Array.length members = 1 then begin
+      let i = members.(0) in
+      weights.(i) <- Utility.rate_from_price u (Problem.path_price problem ~prices i)
+    end
+    else begin
+      (* §6.3: each sub-flow computes the group-level weight from its own
+         path price, then scales it by its share of the group throughput. *)
+      let y = Array.fold_left (fun acc i -> acc +. prev_rates.(i)) 0. members in
+      let n = float_of_int (Array.length members) in
+      Array.iter
+        (fun i ->
+          let total = Utility.rate_from_price u (Problem.path_price problem ~prices i) in
+          let share = if y > 1e-12 then prev_rates.(i) /. y else 1. /. n in
+          (* Keep a tiny floor so idle sub-flows can still probe their
+             path and ramp up quickly if capacity appears; small enough
+             that an optimally-unused sub-flow classifies as unused. *)
+          weights.(i) <- total *. Float.max share (1e-8 /. n))
+        members
+    end
+  done;
+  (* Maxmin requires strictly positive weights. *)
+  Array.map (fun w -> Float.max w 1e-30) weights
+
+let price_update problem params ~prices ~rates =
+  let n_links = Problem.n_links problem in
+  let caps = Problem.caps problem in
+  let loads = Problem.link_loads problem ~rates in
+  (* Normalized residual of each flow (what the sender would put in the
+     normalizedResidual header field). *)
+  let n_flows = Problem.n_flows problem in
+  let residual = Array.make n_flows 0. in
+  for i = 0 to n_flows - 1 do
+    let g = Problem.flow_group problem i in
+    let y = Problem.group_rate problem ~rates g in
+    let marginal = (Problem.group_utility problem g).Utility.deriv (Float.max y 1e-12) in
+    let price = Problem.path_price problem ~prices i in
+    residual.(i) <- (marginal -. price) /. float_of_int (Problem.path_len problem i)
+  done;
+  Array.init n_links (fun l ->
+      let flows = Problem.link_flows problem l in
+      (* Sub-flows carrying negligible traffic contribute (almost) no data
+         packets, hence no residuals at the switch; excluding them also
+         keeps an optimally-unused sub-flow (whose residual is legitimately
+         negative — KKT only requires its path price to EXCEED the marginal
+         utility) from dragging the link price below the fixed point. *)
+      let n_here = float_of_int (Array.length flows) in
+      (* "Negligible" is relative to the average flow on this link, so the
+         rule is scale-free and survives both fat links with many mice and
+         thin links with one elephant. *)
+      let significant i = rates.(i) *. n_here >= 1e-3 *. loads.(l) in
+      let min_res =
+        match params.residual_agg with
+        | Agg_min ->
+          Array.fold_left
+            (fun acc i -> if significant i then Float.min acc residual.(i) else acc)
+            infinity flows
+        | Agg_mean ->
+          let sum = ref 0. and count = ref 0 in
+          Array.iter
+            (fun i ->
+              if significant i then begin
+                sum := !sum +. residual.(i);
+                incr count
+              end)
+            flows;
+          if !count = 0 then infinity else !sum /. float_of_int !count
+      in
+      let utilization = Nf_util.Fcmp.clamp ~lo:0. ~hi:1. (loads.(l) /. caps.(l)) in
+      if Float.is_finite min_res then begin
+        let p_res = prices.(l) +. min_res in
+        let p_new =
+          Float.max 0.
+            (p_res -. (params.eta *. (1. -. utilization) *. prices.(l)))
+        in
+        (params.beta *. prices.(l)) +. ((1. -. params.beta) *. p_new)
+      end
+      else begin
+        (* No (significant) traffic: drive the price to zero via the
+           utilization term alone. *)
+        let p_new =
+          Float.max 0.
+            (prices.(l) -. (params.eta *. (1. -. utilization) *. prices.(l)))
+        in
+        (params.beta *. prices.(l)) +. ((1. -. params.beta) *. p_new)
+      end)
+
+let init problem =
+  let rates = equal_weight_rates problem in
+  let prices = seed_prices problem ~rates in
+  { prices; rates; weights = Array.make (Problem.n_flows problem) 1. }
+
+let init_with_prices problem ~prices =
+  if Array.length prices <> Problem.n_links problem then
+    invalid_arg "Xwi_core.init_with_prices: prices length";
+  let rates = equal_weight_rates problem in
+  let state =
+    { prices = Array.copy prices; rates; weights = Array.make (Problem.n_flows problem) 1. }
+  in
+  let weights = flow_weights problem ~prices:state.prices ~prev_rates:state.rates in
+  state.weights <- weights;
+  state.rates <- (Maxmin.solve_problem problem ~weights).Maxmin.rates;
+  state
+
+let step problem params state =
+  let weights = flow_weights problem ~prices:state.prices ~prev_rates:state.rates in
+  let rates = (Maxmin.solve_problem problem ~weights).Maxmin.rates in
+  let prices = price_update problem params ~prices:state.prices ~rates in
+  state.weights <- weights;
+  state.rates <- rates;
+  Array.blit prices 0 state.prices 0 (Array.length prices)
+
+type run = { iterations : int; converged : bool }
+
+let run_to_fixpoint ?(tol = 1e-10) ?(max_iters = 50_000) problem params state =
+  let n_links = Problem.n_links problem and n_flows = Problem.n_flows problem in
+  let rec loop iter =
+    if iter >= max_iters then { iterations = iter; converged = false }
+    else begin
+      let old_prices = Array.copy state.prices in
+      let old_rates = Array.copy state.rates in
+      step problem params state;
+      let delta = ref 0. in
+      for l = 0 to n_links - 1 do
+        let scale = Float.max (Float.abs old_prices.(l)) 1e-30 in
+        delta := Float.max !delta (Float.abs (state.prices.(l) -. old_prices.(l)) /. scale)
+      done;
+      for i = 0 to n_flows - 1 do
+        let scale = Float.max (Float.abs old_rates.(i)) 1e-30 in
+        delta := Float.max !delta (Float.abs (state.rates.(i) -. old_rates.(i)) /. scale)
+      done;
+      if !delta < tol then { iterations = iter + 1; converged = true }
+      else loop (iter + 1)
+    end
+  in
+  loop 0
+
+let run_until_kkt ?(tol = 1e-6) ?(check_every = 10) ?(max_iters = 50_000) problem
+    params state =
+  let optimal () =
+    Kkt.worst (Kkt.check problem ~rates:state.rates ~prices:state.prices) <= tol
+  in
+  let rec loop iter =
+    if optimal () then { iterations = iter; converged = true }
+    else if iter >= max_iters then { iterations = iter; converged = false }
+    else begin
+      let chunk = Stdlib.min check_every (max_iters - iter) in
+      for _ = 1 to chunk do
+        step problem params state
+      done;
+      loop (iter + chunk)
+    end
+  in
+  loop 0

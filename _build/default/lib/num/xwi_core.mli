@@ -1,0 +1,68 @@
+(** The xWI (eXplicit Weight Inference) iteration — the paper's core
+    algorithm (§4.2).
+
+    One iteration, given link prices [p(t)]:
+    + every flow sets its Swift weight [w_i = U'^-1(Σ_{l ∈ L(i)} p_l)]
+      (Eq. 7); multipath groups split the group weight across sub-flows in
+      proportion to their current throughput share (§6.3's heuristic);
+    + the network allocates the weighted max-min rates [x(t)] for these
+      weights (Eq. 8) — here computed exactly by {!Maxmin}, in the packet
+      simulator achieved by Swift;
+    + every link updates its price from the smallest normalized KKT
+      residual of its flows and its utilization (Eqs. 9–10), smoothed by
+      [β]-averaging (Eq. 11).
+
+    This module is the {e fluid} (noise-free, synchronous) form; the
+    packet-level protocol realization lives in [nf_sim]. *)
+
+type residual_agg =
+  | Agg_min  (** Eq. 9 as published: each link uses the smallest residual *)
+  | Agg_mean  (** ablation: the mean residual instead of the minimum *)
+
+type params = {
+  eta : float;  (** utilization-term gain of Eq. 10; paper default 5 *)
+  beta : float;  (** price averaging of Eq. 11; paper default 0.5 *)
+  residual_agg : residual_agg;  (** Eq. 9 aggregation; default {!Agg_min} *)
+}
+
+val default_params : params
+(** [{ eta = 5.; beta = 0.5; residual_agg = Agg_min }] — Table 2. *)
+
+type state = {
+  prices : float array;  (** per link *)
+  mutable rates : float array;  (** per flow; last max-min allocation *)
+  mutable weights : float array;  (** per flow; last Eq. 7 weights *)
+}
+
+val init : Problem.t -> state
+(** Initial state: prices seeded from the marginal utilities at the
+    equal-weight max-min allocation (so the first weight computation is
+    well-scaled), rates at that allocation. *)
+
+val init_with_prices : Problem.t -> prices:float array -> state
+(** Start from given prices (e.g. carried over across a flow-arrival event
+    in dynamic scenarios); rates start at the induced allocation. *)
+
+val flow_weights : Problem.t -> prices:float array -> prev_rates:float array -> float array
+(** Eq. 7 plus the §6.3 multipath split; all weights strictly positive. *)
+
+val price_update : Problem.t -> params -> prices:float array -> rates:float array -> float array
+(** Eqs. 9–11: one synchronized price update for all links. *)
+
+val step : Problem.t -> params -> state -> unit
+(** One full iteration: weights, max-min rates, price update (in place). *)
+
+type run = { iterations : int; converged : bool }
+
+val run_to_fixpoint :
+  ?tol:float -> ?max_iters:int -> Problem.t -> params -> state -> run
+(** Iterate until the largest relative change of any price and rate falls
+    below [tol] (default 1e-10) or [max_iters] (default 50_000) is hit. *)
+
+val run_until_kkt :
+  ?tol:float -> ?check_every:int -> ?max_iters:int -> Problem.t -> params -> state -> run
+(** Iterate until the worst KKT residual of the current (rates, prices)
+    falls below [tol] (default 1e-6), checking every [check_every]
+    iterations (default 10). This is the efficient stopping rule for
+    oracle-style use: per-iteration deltas can stall at numerical noise
+    long after the iterate is optimal to any practical tolerance. *)

@@ -1,0 +1,1 @@
+lib/sim/host.ml: Array Config Float Hashtbl List Nf_num Nf_util Packet Printf Queue Stdlib

@@ -1,0 +1,1 @@
+lib/sim/host.mli: Config Nf_num Nf_util Packet

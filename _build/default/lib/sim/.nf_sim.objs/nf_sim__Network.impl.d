@@ -1,0 +1,1 @@
+lib/sim/network.ml: Array Config Hashtbl Host List Nf_engine Nf_num Nf_topo Nf_util Packet Price_engine Printf Queue_disc

@@ -1,0 +1,1 @@
+lib/sim/network.mli: Config Nf_engine Nf_num Nf_topo Nf_util

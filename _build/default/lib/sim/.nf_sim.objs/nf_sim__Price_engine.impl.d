@@ -1,0 +1,1 @@
+lib/sim/price_engine.ml: Float Nf_util Packet

@@ -1,0 +1,1 @@
+lib/sim/price_engine.mli: Packet

@@ -1,0 +1,1 @@
+lib/sim/queue_disc.ml: Float Hashtbl List Nf_util Packet Queue

@@ -1,0 +1,50 @@
+type t = {
+  ewma_time : float;
+  dt_slack : float;
+  init_burst : int;
+  price_update_interval : float;
+  eta : float;
+  beta : float;
+  buffer_bytes : int;
+  dgd_update_interval : float;
+  dgd_gain_util : float;
+  dgd_gain_queue : float;
+  dgd_price_scale : float;
+  rcp_update_interval : float;
+  rcp_gain_spare : float;
+  rcp_gain_queue : float;
+  rcp_mean_rtt : float;
+  dctcp_mark_threshold : int;
+  dctcp_gain : float;
+  pfabric_buffer_bytes : int;
+  pfabric_rto : float;
+  weight_quant_base : float option;
+  rate_measure_tau : float;
+  record_rates : bool;
+}
+
+let default =
+  {
+    ewma_time = 20e-6;
+    dt_slack = 6e-6;
+    init_burst = 3;
+    price_update_interval = 30e-6;
+    eta = 5.;
+    beta = 0.5;
+    buffer_bytes = 1_000_000;
+    dgd_update_interval = 16e-6;
+    dgd_gain_util = 0.3;
+    dgd_gain_queue = 0.15;
+    dgd_price_scale = 4e-10;
+    rcp_update_interval = 16e-6;
+    rcp_gain_spare = 0.4;
+    rcp_gain_queue = 0.2;
+    rcp_mean_rtt = 16e-6;
+    dctcp_mark_threshold = 30_000;
+    dctcp_gain = 1. /. 16.;
+    pfabric_buffer_bytes = 36_000;
+    pfabric_rto = 48e-6;
+    weight_quant_base = None;
+    rate_measure_tau = 80e-6;
+    record_rates = false;
+  }

@@ -1,0 +1,88 @@
+(** End-host transport implementations.
+
+    One {!sender} and one {!receiver} exist per flow. The network layer
+    owns packet forwarding and calls {!handle_data} / {!handle_ack} when
+    packets reach their destination host. Five protocols are implemented:
+
+    - {!proto_numfabric}: Swift rate control (packet-pair rate estimation,
+      EWMA, window = R * (d0 + dt)) + xWI weight/residual computation —
+      the full NUMFabric sender of §5;
+    - {!proto_dgd}: rate-paced DGD sender (Eq. 3 rates from path prices,
+      outstanding bytes capped at 2 BDP as in §6);
+    - {!proto_rcp}: RCP* sender (Eq. 16 rates), same pacing/cap;
+    - {!proto_dctcp}: DCTCP (ECN-fraction window adaptation);
+    - {!proto_pfabric}: pFabric sender (BDP window, remaining-size packet
+      priorities, aggressive RTO-driven retransmission).
+
+    All flows use fixed 1500-byte data packets; a flow of [size] bytes is
+    [ceil (size / 1500)] packets. Reliability is selective-repeat with a
+    coarse safety RTO (loss is rare for every protocol except pFabric,
+    whose priority-drop queues rely on it). *)
+
+type ctx = {
+  now : unit -> float;
+  after : float -> (unit -> unit) -> unit;  (** schedule relative event *)
+  transmit : Packet.t -> unit;  (** inject a packet at its first link *)
+  complete : int -> unit;  (** called once when a finite flow finishes *)
+  cfg : Config.t;
+}
+
+type proto =
+  | Proto_numfabric of Nf_num.Utility.t
+  | Proto_numfabric_srpt of float
+      (** NUMFabric with the SRPT-approximating utility: weights re-derived
+          from the flow's {e remaining} size on every ACK (§2). The float
+          is ε. Requires a finite flow size. *)
+  | Proto_dgd of Nf_num.Utility.t
+  | Proto_rcp of float  (** alpha *)
+  | Proto_dctcp
+  | Proto_pfabric
+
+type sender
+
+type receiver
+
+val make_sender :
+  ctx ->
+  flow:int ->
+  path:int array ->
+  size:float ->
+  d0:float ->
+  line_rate:float ->
+  proto:proto ->
+  sender
+(** [size] in bytes ([infinity] for a persistent flow); [d0] the baseline
+    RTT (§4.1); [line_rate] the minimum capacity along the path. *)
+
+val make_receiver :
+  ctx -> flow:int -> rpath:int array -> record:bool -> receiver
+
+val start : ctx -> sender -> unit
+(** Begin transmission (Swift: the initial 3-packet burst). *)
+
+val stop : sender -> unit
+(** Stop a (typically persistent) flow: no further data is sent. *)
+
+val handle_ack : ctx -> sender -> Packet.t -> unit
+
+val handle_data : ctx -> receiver -> Packet.t -> unit
+(** Updates the receiver's inter-packet-time measurement and rate filter,
+    then reflects an ACK. *)
+
+val completed : sender -> bool
+
+val acked_bytes : sender -> float
+
+val swift_window : sender -> float option
+(** Current Swift window in bytes (NUMFabric flows only). *)
+
+val swift_rate_estimate : sender -> float option
+(** Swift's EWMA available-bandwidth estimate R, bps. *)
+
+val received_bytes : receiver -> float
+
+val measured_rate : receiver -> float option
+(** Receiver-side EWMA rate estimate (tau = [cfg.rate_measure_tau]). *)
+
+val rate_series : receiver -> Nf_util.Timeseries.t option
+(** Present when the receiver was created with [record:true]. *)

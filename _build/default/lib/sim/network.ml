@@ -1,0 +1,361 @@
+module Topology = Nf_topo.Topology
+module Routing = Nf_topo.Routing
+module Sim = Nf_engine.Sim
+
+type protocol =
+  | Numfabric
+  | Numfabric_srpt of { eps : float }
+  | Dgd
+  | Rcp of { alpha : float }
+  | Dctcp
+  | Pfabric
+
+type flow_spec = {
+  fs_id : int;
+  fs_src : int;
+  fs_dst : int;
+  fs_size : float;
+  fs_start : float;
+  fs_path : int array option;
+  fs_utility : Nf_num.Utility.t option;
+}
+
+let flow ?path ?utility ?(size = infinity) ?(start = 0.) ~id ~src ~dst () =
+  {
+    fs_id = id;
+    fs_src = src;
+    fs_dst = dst;
+    fs_size = size;
+    fs_start = start;
+    fs_path = path;
+    fs_utility = utility;
+  }
+
+type link_state = {
+  link : Topology.link;
+  qdisc : Queue_disc.t;
+  engine : Price_engine.t;
+  mutable busy : bool;
+  mutable delivered : float;  (* bytes dequeued *)
+}
+
+type t = {
+  sim : Sim.t;
+  topo : Topology.t;
+  protocol : protocol;
+  config : Config.t;
+  links : link_state array;
+  senders : (int, Host.sender) Hashtbl.t;
+  receivers : (int, Host.receiver) Hashtbl.t;
+  paths : (int, int array) Hashtbl.t;
+  rtts : (int, float) Hashtbl.t;
+  mutable done_flows : (int * float) list;  (* (flow, fct), reverse order *)
+  starts : (int, float) Hashtbl.t;
+  queue_monitors : (int, Nf_util.Timeseries.t) Hashtbl.t;
+  price_monitors : (int, Nf_util.Timeseries.t) Hashtbl.t;
+  ctx : Host.ctx;
+}
+
+let sim t = t.sim
+
+(* ------------------------------------------------------------------ *)
+(* Link transmission machinery *)
+
+let rec try_transmit t ls =
+  if not ls.busy then begin
+    match ls.qdisc.Queue_disc.dequeue () with
+    | None -> ()
+    | Some pkt ->
+      ls.engine.Price_engine.on_dequeue pkt;
+      ls.busy <- true;
+      ls.delivered <- ls.delivered +. float_of_int pkt.Packet.size;
+      let tx =
+        float_of_int pkt.Packet.size *. 8. /. ls.link.Topology.capacity
+      in
+      Sim.schedule_after t.sim ~delay:tx (fun () ->
+          ls.busy <- false;
+          try_transmit t ls);
+      Sim.schedule_after t.sim ~delay:(tx +. ls.link.Topology.delay) (fun () ->
+          arrive t pkt)
+  end
+
+and forward t pkt link_id =
+  let ls = t.links.(link_id) in
+  if ls.qdisc.Queue_disc.enqueue pkt then begin
+    ls.engine.Price_engine.on_enqueue pkt;
+    try_transmit t ls
+  end
+
+and arrive t pkt =
+  pkt.Packet.hop <- pkt.Packet.hop + 1;
+  if pkt.Packet.hop < Array.length pkt.Packet.path then
+    forward t pkt pkt.Packet.path.(pkt.Packet.hop)
+  else begin
+    (* Reached the end host. *)
+    match pkt.Packet.kind with
+    | Packet.Data -> (
+      match Hashtbl.find_opt t.receivers pkt.Packet.flow with
+      | Some r -> Host.handle_data t.ctx r pkt
+      | None -> ())
+    | Packet.Ack -> (
+      match Hashtbl.find_opt t.senders pkt.Packet.flow with
+      | Some s -> Host.handle_ack t.ctx s pkt
+      | None -> ())
+  end
+
+let transmit t pkt = forward t pkt pkt.Packet.path.(0)
+
+(* ------------------------------------------------------------------ *)
+(* Construction *)
+
+let make_link_state config protocol (link : Topology.link) =
+  let c = link.Topology.capacity in
+  match protocol with
+  | Numfabric | Numfabric_srpt _ ->
+    let qdisc = Queue_disc.stfq ~limit_bytes:config.Config.buffer_bytes () in
+    let engine =
+      Price_engine.xwi ~eta:config.Config.eta ~beta:config.Config.beta
+        ~interval:config.Config.price_update_interval ~capacity:c ()
+    in
+    { link; qdisc; engine; busy = false; delivered = 0. }
+  | Dgd ->
+    let qdisc = Queue_disc.fifo ~limit_bytes:config.Config.buffer_bytes () in
+    let engine =
+      Price_engine.dgd ~gain_util:config.Config.dgd_gain_util
+        ~gain_queue:config.Config.dgd_gain_queue
+        ~interval:config.Config.dgd_update_interval ~capacity:c
+        ~queue_bytes:qdisc.Queue_disc.byte_length
+        ~price_scale:config.Config.dgd_price_scale ()
+    in
+    { link; qdisc; engine; busy = false; delivered = 0. }
+  | Rcp { alpha } ->
+    let qdisc = Queue_disc.fifo ~limit_bytes:config.Config.buffer_bytes () in
+    let engine =
+      Price_engine.rcp ~gain_spare:config.Config.rcp_gain_spare
+        ~gain_queue:config.Config.rcp_gain_queue
+        ~interval:config.Config.rcp_update_interval
+        ~mean_rtt:config.Config.rcp_mean_rtt ~alpha ~capacity:c
+        ~queue_bytes:qdisc.Queue_disc.byte_length ~initial_fair_rate:c ()
+    in
+    { link; qdisc; engine; busy = false; delivered = 0. }
+  | Dctcp ->
+    let qdisc =
+      Queue_disc.ecn_fifo ~limit_bytes:config.Config.buffer_bytes
+        ~mark_threshold_bytes:config.Config.dctcp_mark_threshold ()
+    in
+    { link; qdisc; engine = Price_engine.none; busy = false; delivered = 0. }
+  | Pfabric ->
+    let qdisc =
+      Queue_disc.pfabric ~limit_bytes:config.Config.pfabric_buffer_bytes ()
+    in
+    { link; qdisc; engine = Price_engine.none; busy = false; delivered = 0. }
+
+let has_engine = function
+  | Numfabric | Numfabric_srpt _ | Dgd | Rcp _ -> true
+  | Dctcp | Pfabric -> false
+
+let create ?(config = Config.default) ~topology ~protocol () =
+  let sim = Sim.create () in
+  let links =
+    Array.map (make_link_state config protocol) (Topology.links topology)
+  in
+  let rec t =
+    {
+      sim;
+      topo = topology;
+      protocol;
+      config;
+      links;
+      senders = Hashtbl.create 256;
+      receivers = Hashtbl.create 256;
+      paths = Hashtbl.create 256;
+      rtts = Hashtbl.create 256;
+      done_flows = [];
+      starts = Hashtbl.create 256;
+      queue_monitors = Hashtbl.create 8;
+      price_monitors = Hashtbl.create 8;
+      ctx =
+        {
+          Host.now = (fun () -> Sim.now sim);
+          after = (fun delay f -> Sim.schedule_after sim ~delay f);
+          transmit = (fun pkt -> transmit t pkt);
+          complete =
+            (fun flow_id ->
+              let start =
+                match Hashtbl.find_opt t.starts flow_id with
+                | Some s -> s
+                | None -> 0.
+              in
+              t.done_flows <- (flow_id, Sim.now sim -. start) :: t.done_flows);
+          cfg = config;
+        };
+    }
+  in
+  (* Synchronized periodic feedback updates on every link (§5: PTP). *)
+  if has_engine protocol then begin
+    let interval =
+      match protocol with
+      | Numfabric | Numfabric_srpt _ -> config.Config.price_update_interval
+      | Dgd -> config.Config.dgd_update_interval
+      | Rcp _ -> config.Config.rcp_update_interval
+      | Dctcp | Pfabric -> 1.
+    in
+    Sim.periodic sim ~start:interval ~interval (fun () ->
+        Array.iter (fun ls -> ls.engine.Price_engine.update ()) links)
+  end;
+  t
+
+(* Baseline RTT d0: propagation both ways plus one serialization per hop
+   for the data packet and the ACK. *)
+let compute_d0 t fwd rev =
+  let dir path pkt_bytes =
+    Array.fold_left
+      (fun acc lid ->
+        let l = Topology.link t.topo lid in
+        acc +. l.Topology.delay +. (pkt_bytes *. 8. /. l.Topology.capacity))
+      0. path
+  in
+  dir fwd (float_of_int Packet.data_size) +. dir rev (float_of_int Packet.ack_size)
+
+let reverse_path t fwd =
+  let rev = Array.make (Array.length fwd) (-1) in
+  let n = Array.length fwd in
+  for i = 0 to n - 1 do
+    let l = Topology.link t.topo fwd.(n - 1 - i) in
+    match Topology.find_link t.topo ~src:l.Topology.dst ~dst:l.Topology.src with
+    | Some r -> rev.(i) <- r
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Network.add_flow: no reverse link for %d"
+           l.Topology.link_id)
+  done;
+  rev
+
+let proto_of t spec =
+  match (t.protocol, spec.fs_utility) with
+  | Numfabric, Some u -> Host.Proto_numfabric u
+  | Numfabric, None -> invalid_arg "Network.add_flow: NUMFabric flow needs a utility"
+  | Numfabric_srpt { eps }, _ -> Host.Proto_numfabric_srpt eps
+  | Dgd, Some u -> Host.Proto_dgd u
+  | Dgd, None -> invalid_arg "Network.add_flow: DGD flow needs a utility"
+  | Rcp { alpha }, _ -> Host.Proto_rcp alpha
+  | Dctcp, _ -> Host.Proto_dctcp
+  | Pfabric, _ -> Host.Proto_pfabric
+
+let add_flow t spec =
+  if Hashtbl.mem t.senders spec.fs_id then
+    invalid_arg "Network.add_flow: duplicate flow id";
+  (match
+     ( (Topology.node t.topo spec.fs_src).Topology.kind,
+       (Topology.node t.topo spec.fs_dst).Topology.kind )
+   with
+  | Topology.Host, Topology.Host -> ()
+  | _ -> invalid_arg "Network.add_flow: endpoints must be hosts");
+  let path =
+    match spec.fs_path with
+    | Some p ->
+      if not (Topology.path_is_valid t.topo ~src:spec.fs_src ~dst:spec.fs_dst
+                (Array.to_list p))
+      then invalid_arg "Network.add_flow: invalid pinned path";
+      p
+    | None ->
+      Array.of_list
+        (Routing.ecmp_path t.topo ~src:spec.fs_src ~dst:spec.fs_dst
+           ~hash:(spec.fs_id * 2654435761))
+  in
+  let rpath = reverse_path t path in
+  let d0 = compute_d0 t path rpath in
+  let line_rate = Topology.path_min_capacity t.topo (Array.to_list path) in
+  let sender =
+    Host.make_sender t.ctx ~flow:spec.fs_id ~path ~size:spec.fs_size ~d0
+      ~line_rate ~proto:(proto_of t spec)
+  in
+  let receiver =
+    Host.make_receiver t.ctx ~flow:spec.fs_id ~rpath
+      ~record:t.config.Config.record_rates
+  in
+  Hashtbl.replace t.senders spec.fs_id sender;
+  Hashtbl.replace t.receivers spec.fs_id receiver;
+  Hashtbl.replace t.paths spec.fs_id path;
+  Hashtbl.replace t.rtts spec.fs_id d0;
+  Hashtbl.replace t.starts spec.fs_id spec.fs_start;
+  Sim.schedule t.sim ~at:spec.fs_start (fun () -> Host.start t.ctx sender)
+
+let stop_flow_at t ~id at =
+  match Hashtbl.find_opt t.senders id with
+  | None -> invalid_arg "Network.stop_flow_at: unknown flow"
+  | Some s -> Sim.schedule t.sim ~at (fun () -> Host.stop s)
+
+let run t ~until = Sim.run ~until t.sim
+
+(* ------------------------------------------------------------------ *)
+(* Measurement *)
+
+let measured_rate t id =
+  match Hashtbl.find_opt t.receivers id with
+  | None -> None
+  | Some r -> Host.measured_rate r
+
+let rate_series t id =
+  match Hashtbl.find_opt t.receivers id with
+  | None -> None
+  | Some r -> Host.rate_series r
+
+let received_bytes t id =
+  match Hashtbl.find_opt t.receivers id with
+  | None -> 0.
+  | Some r -> Host.received_bytes r
+
+let fct t id =
+  List.assoc_opt id t.done_flows
+
+let completions t = List.rev t.done_flows
+
+let queue_bytes t ~link = t.links.(link).qdisc.Queue_disc.byte_length ()
+
+let total_drops t =
+  Array.fold_left (fun acc ls -> acc + ls.qdisc.Queue_disc.drops ()) 0 t.links
+
+let link_price t ~link = t.links.(link).engine.Price_engine.value ()
+
+let link_delivered_bytes t ~link = t.links.(link).delivered
+
+let monitor_links t ~links ~every =
+  List.iter
+    (fun link ->
+      if link < 0 || link >= Array.length t.links then
+        invalid_arg "Network.monitor_links: bad link id";
+      let qs = Nf_util.Timeseries.create ~name:(Printf.sprintf "queue-%d" link) () in
+      let ps = Nf_util.Timeseries.create ~name:(Printf.sprintf "price-%d" link) () in
+      Hashtbl.replace t.queue_monitors link qs;
+      Hashtbl.replace t.price_monitors link ps)
+    links;
+  Sim.periodic t.sim ~interval:every (fun () ->
+      let now = Sim.now t.sim in
+      List.iter
+        (fun link ->
+          let ls = t.links.(link) in
+          (match Hashtbl.find_opt t.queue_monitors link with
+          | Some qs ->
+            Nf_util.Timeseries.add qs ~time:now
+              (float_of_int (ls.qdisc.Queue_disc.byte_length ()))
+          | None -> ());
+          match Hashtbl.find_opt t.price_monitors link with
+          | Some ps ->
+            Nf_util.Timeseries.add ps ~time:now (ls.engine.Price_engine.value ())
+          | None -> ())
+        links)
+
+let queue_series t ~link = Hashtbl.find_opt t.queue_monitors link
+
+let price_series t ~link = Hashtbl.find_opt t.price_monitors link
+
+let flow_path t id =
+  match Hashtbl.find_opt t.paths id with
+  | Some p -> Array.copy p
+  | None -> invalid_arg "Network.flow_path: unknown flow"
+
+let baseline_rtt t id =
+  match Hashtbl.find_opt t.rtts id with
+  | Some d -> d
+  | None -> invalid_arg "Network.baseline_rtt: unknown flow"

@@ -1,0 +1,111 @@
+(** The packet-level network simulator: wires a {!Nf_topo.Topology.t},
+    per-link queues and price engines, and per-flow host transports into a
+    single discrete-event simulation.
+
+    Every directed link runs the queue discipline and feedback engine of
+    the selected protocol (host NIC links included — the first hop is a
+    scheduling point like any switch port):
+
+    - NUMFabric: STFQ queues + xWI price engines (Fig. 3);
+    - DGD / RCP*: FIFO queues + the respective price/fair-rate engines;
+    - DCTCP: ECN-marking FIFO queues;
+    - pFabric: small priority-drop queues.
+
+    Flows are source-routed: each flow's path is fixed at creation (ECMP
+    hash of the flow id by default). ACKs travel the reverse path. *)
+
+type protocol =
+  | Numfabric
+  | Numfabric_srpt of { eps : float }
+      (** NUMFabric with remaining-size (SRPT) weights; flows need finite
+          sizes and no utility (it is derived from the remaining size) *)
+  | Dgd
+  | Rcp of { alpha : float }
+  | Dctcp
+  | Pfabric
+
+type flow_spec = {
+  fs_id : int;  (** unique flow id *)
+  fs_src : int;  (** host node id *)
+  fs_dst : int;
+  fs_size : float;  (** bytes; [infinity] for a persistent flow *)
+  fs_start : float;  (** seconds *)
+  fs_path : int array option;  (** pinned path; default ECMP by id hash *)
+  fs_utility : Nf_num.Utility.t option;
+    (** required for [Numfabric] and [Dgd] *)
+}
+
+val flow :
+  ?path:int array ->
+  ?utility:Nf_num.Utility.t ->
+  ?size:float ->
+  ?start:float ->
+  id:int ->
+  src:int ->
+  dst:int ->
+  unit ->
+  flow_spec
+(** [size] defaults to [infinity], [start] to 0. *)
+
+type t
+
+val create :
+  ?config:Config.t -> topology:Nf_topo.Topology.t -> protocol:protocol -> unit -> t
+
+val sim : t -> Nf_engine.Sim.t
+
+val add_flow : t -> flow_spec -> unit
+(** Registers the flow and schedules its start. Must be called before the
+    simulation clock passes [fs_start].
+    @raise Invalid_argument on duplicate ids, non-host endpoints, missing
+    utility, or an invalid pinned path. *)
+
+val stop_flow_at : t -> id:int -> float -> unit
+(** Schedule a (persistent) flow to stop sending at the given time. *)
+
+val run : t -> until:float -> unit
+(** Advance the simulation (can be called repeatedly with increasing
+    horizons). *)
+
+(** {2 Measurement} *)
+
+val measured_rate : t -> int -> float option
+(** Receiver-side EWMA rate of a flow, bps. *)
+
+val rate_series : t -> int -> Nf_util.Timeseries.t option
+(** Present when [config.record_rates] was set. *)
+
+val received_bytes : t -> int -> float
+
+val fct : t -> int -> float option
+(** Completion time of a finite flow, if it has finished. *)
+
+val completions : t -> (int * float) list
+(** All (flow id, fct) pairs so far, completion order. *)
+
+val queue_bytes : t -> link:int -> int
+
+val total_drops : t -> int
+
+val link_price : t -> link:int -> float
+(** Current xWI/DGD price (or RCP fair rate) of a link's engine; 0 when the
+    protocol has no engine. *)
+
+val link_delivered_bytes : t -> link:int -> float
+
+val monitor_links : t -> links:int list -> every:float -> unit
+(** Start sampling the queue occupancy (bytes) and feedback value (price /
+    fair rate) of the given links every [every] seconds; call before
+    {!run}. Safe to call once per network. *)
+
+val queue_series : t -> link:int -> Nf_util.Timeseries.t option
+(** Samples recorded by {!monitor_links} ([None] if not monitored). *)
+
+val price_series : t -> link:int -> Nf_util.Timeseries.t option
+
+val flow_path : t -> int -> int array
+(** The forward path assigned to a flow. *)
+
+val baseline_rtt : t -> int -> float
+(** The d0 used for a flow (propagation + per-hop serialization, both
+    directions). *)

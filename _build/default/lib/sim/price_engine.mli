@@ -1,0 +1,59 @@
+(** Per-port feedback computation at switches.
+
+    Each outgoing link optionally runs one of these engines; the network
+    layer calls [on_enqueue]/[on_dequeue] around the queue discipline and
+    fires [update] every [interval] seconds (price updates are assumed
+    synchronized across switches, §5 — PTP in a real deployment).
+
+    - {!xwi}: the NUMFabric switch of Fig. 3 — tracks the minimum
+      normalized residual of data packets and the serviced bytes, updates
+      the price per Eqs. 9–11, and stamps [path_price]/[path_len] into
+      departing packets;
+    - {!dgd}: DGD per Eq. 14 — price from rate mismatch and queue
+      occupancy, stamped into [path_price];
+    - {!rcp}: RCP* per Eq. 15 — advertised fair rate from spare capacity
+      and queue; departing packets accumulate [R^-α] in [rcp_sum]. *)
+
+type t = {
+  on_enqueue : Packet.t -> unit;
+  on_dequeue : Packet.t -> unit;
+  update : unit -> unit;
+  interval : float;
+  value : unit -> float;  (** current price (xwi/dgd) or fair rate (rcp) *)
+}
+
+val none : t
+(** No-op engine (interval 1 s; [update] does nothing). *)
+
+val xwi :
+  ?eta:float ->
+  ?beta:float ->
+  ?interval:float ->
+  capacity:float ->
+  unit ->
+  t
+(** Defaults per Table 2: eta 5, beta 0.5, interval 30 µs. *)
+
+val dgd :
+  ?gain_util:float ->
+  ?gain_queue:float ->
+  ?interval:float ->
+  capacity:float ->
+  queue_bytes:(unit -> int) ->
+  price_scale:float ->
+  unit ->
+  t
+(** [price_scale] normalizes the dimensionless gains (see
+    {!Nf_fluid.Fluid_dgd}); interval defaults to 16 µs. *)
+
+val rcp :
+  ?gain_spare:float ->
+  ?gain_queue:float ->
+  ?interval:float ->
+  ?mean_rtt:float ->
+  alpha:float ->
+  capacity:float ->
+  queue_bytes:(unit -> int) ->
+  initial_fair_rate:float ->
+  unit ->
+  t

@@ -1,0 +1,196 @@
+type t = {
+  enqueue : Packet.t -> bool;
+  dequeue : unit -> Packet.t option;
+  byte_length : unit -> int;
+  packet_count : unit -> int;
+  drops : unit -> int;
+}
+
+let default_limit_bytes = 1_000_000
+
+let fifo_generic ~limit_bytes ~on_enqueue =
+  let q : Packet.t Queue.t = Queue.create () in
+  let bytes = ref 0 in
+  let dropped = ref 0 in
+  let enqueue p =
+    if !bytes + p.Packet.size > limit_bytes then begin
+      incr dropped;
+      false
+    end
+    else begin
+      on_enqueue ~queue_bytes:!bytes p;
+      Queue.add p q;
+      bytes := !bytes + p.Packet.size;
+      true
+    end
+  in
+  let dequeue () =
+    match Queue.take_opt q with
+    | None -> None
+    | Some p ->
+      bytes := !bytes - p.Packet.size;
+      Some p
+  in
+  {
+    enqueue;
+    dequeue;
+    byte_length = (fun () -> !bytes);
+    packet_count = (fun () -> Queue.length q);
+    drops = (fun () -> !dropped);
+  }
+
+let fifo ?(limit_bytes = default_limit_bytes) () =
+  fifo_generic ~limit_bytes ~on_enqueue:(fun ~queue_bytes:_ _ -> ())
+
+let ecn_fifo ?(limit_bytes = default_limit_bytes) ~mark_threshold_bytes () =
+  let mark ~queue_bytes p =
+    if queue_bytes > mark_threshold_bytes then p.Packet.ecn <- true
+  in
+  fifo_generic ~limit_bytes ~on_enqueue:mark
+
+(* ------------------------------------------------------------------ *)
+(* STFQ *)
+
+type stfq_entry = { pkt : Packet.t; start_tag : float; order : int }
+
+let stfq ?(limit_bytes = default_limit_bytes) () =
+  let cmp a b =
+    match compare a.start_tag b.start_tag with
+    | 0 -> compare a.order b.order
+    | c -> c
+  in
+  let heap = Nf_util.Heap.create ~cmp in
+  let finish_tags : (int, float) Hashtbl.t = Hashtbl.create 64 in
+  let virtual_time = ref 0. in
+  let bytes = ref 0 in
+  let dropped = ref 0 in
+  let order = ref 0 in
+  let enqueue p =
+    if !bytes + p.Packet.size > limit_bytes then begin
+      incr dropped;
+      false
+    end
+    else begin
+      let prev_finish =
+        match Hashtbl.find_opt finish_tags p.Packet.flow with
+        | Some f -> f
+        | None -> 0.
+      in
+      let start_tag = Float.max !virtual_time prev_finish in
+      Hashtbl.replace finish_tags p.Packet.flow
+        (start_tag +. p.Packet.virtual_packet_len);
+      incr order;
+      Nf_util.Heap.push heap { pkt = p; start_tag; order = !order };
+      bytes := !bytes + p.Packet.size;
+      true
+    end
+  in
+  let dequeue () =
+    match Nf_util.Heap.pop heap with
+    | None -> None
+    | Some e ->
+      virtual_time := e.start_tag;
+      bytes := !bytes - e.pkt.Packet.size;
+      Some e.pkt
+  in
+  {
+    enqueue;
+    dequeue;
+    byte_length = (fun () -> !bytes);
+    packet_count = (fun () -> Nf_util.Heap.length heap);
+    drops = (fun () -> !dropped);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* pFabric: small queue, linear scans (the buffer holds tens of packets).
+   Dequeue: earliest-queued packet of the flow owning the minimum-priority
+   packet (keeps flows in order). Overflow: drop the maximum-priority
+   packet already queued if the arriving one beats it, else the arrival. *)
+
+type pf_entry = { p : Packet.t; arrival : int }
+
+let pfabric ?(limit_bytes = default_limit_bytes) () =
+  let entries : pf_entry list ref = ref [] in
+  let bytes = ref 0 in
+  let dropped = ref 0 in
+  let counter = ref 0 in
+  let insert p =
+    incr counter;
+    entries := { p; arrival = !counter } :: !entries;
+    bytes := !bytes + p.Packet.size
+  in
+  let remove_entry e =
+    entries := List.filter (fun e' -> e' != e) !entries;
+    bytes := !bytes - e.p.Packet.size
+  in
+  let enqueue p =
+    if !bytes + p.Packet.size <= limit_bytes then begin
+      insert p;
+      true
+    end
+    else begin
+      (* Find the worst (max priority value) queued data packet. *)
+      let worst =
+        List.fold_left
+          (fun acc e ->
+            match acc with
+            | None -> Some e
+            | Some w ->
+              if e.p.Packet.priority > w.p.Packet.priority then Some e else acc)
+          None !entries
+      in
+      match worst with
+      | Some w when w.p.Packet.priority > p.Packet.priority ->
+        remove_entry w;
+        incr dropped;
+        insert p;
+        true
+      | Some _ | None ->
+        incr dropped;
+        false
+    end
+  in
+  let dequeue () =
+    match !entries with
+    | [] -> None
+    | _ :: _ ->
+      (* Min-priority packet decides the flow... *)
+      let best =
+        List.fold_left
+          (fun acc e ->
+            match acc with
+            | None -> Some e
+            | Some b ->
+              if
+                e.p.Packet.priority < b.p.Packet.priority
+                || (e.p.Packet.priority = b.p.Packet.priority
+                    && e.arrival < b.arrival)
+              then Some e
+              else acc)
+          None !entries
+      in
+      (match best with
+      | None -> None
+      | Some b ->
+        (* ... then serve that flow's earliest-queued packet. *)
+        let first =
+          List.fold_left
+            (fun acc e ->
+              if e.p.Packet.flow <> b.p.Packet.flow then acc
+              else
+                match acc with
+                | None -> Some e
+                | Some f -> if e.arrival < f.arrival then Some e else acc)
+            None !entries
+        in
+        let e = match first with Some e -> e | None -> b in
+        remove_entry e;
+        Some e.p)
+  in
+  {
+    enqueue;
+    dequeue;
+    byte_length = (fun () -> !bytes);
+    packet_count = (fun () -> List.length !entries);
+    drops = (fun () -> !dropped);
+  }

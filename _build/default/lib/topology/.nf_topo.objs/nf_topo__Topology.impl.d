@@ -1,0 +1,1 @@
+lib/topology/topology.ml: Array Float Format List Nf_util Printf

@@ -1,0 +1,21 @@
+(** Path computation: shortest paths by hop count and ECMP path
+    enumeration/selection.
+
+    Datacenter fabrics (leaf–spine) have many equal-length paths between a
+    pair of hosts; ECMP-style per-flow hashing picks one of them, which is
+    exactly how the paper's simulations place flows and sub-flows (§6.3
+    "each sub-flow hashed onto a path at random"). *)
+
+val shortest_path : Topology.t -> src:int -> dst:int -> int list option
+(** A minimum-hop path (list of link ids) from [src] to [dst], or [None]
+    when unreachable. Deterministic: ties are broken by smallest link id. *)
+
+val all_shortest_paths : Topology.t -> src:int -> dst:int -> int list list
+(** All minimum-hop paths, in lexicographic link-id order. The empty list
+    means unreachable; [\[\[\]\]] means [src = dst]. *)
+
+val ecmp_path : Topology.t -> src:int -> dst:int -> hash:int -> int list
+(** The [hash mod n]-th of the [n] shortest paths — per-flow ECMP.
+    @raise Invalid_argument when [dst] is unreachable from [src]. *)
+
+val hop_count : Topology.t -> src:int -> dst:int -> int option

@@ -1,0 +1,47 @@
+type gain = { g : float; mutable gv : float option }
+
+let gain ~g =
+  if not (g > 0. && g <= 1.) then invalid_arg "Ewma.gain: g must be in (0, 1]";
+  { g; gv = None }
+
+let gain_update f sample =
+  match f.gv with
+  | None -> f.gv <- Some sample
+  | Some v -> f.gv <- Some (((1. -. f.g) *. v) +. (f.g *. sample))
+
+let gain_value f = f.gv
+
+let gain_value_exn f =
+  match f.gv with
+  | Some v -> v
+  | None -> invalid_arg "Ewma.gain_value_exn: no samples yet"
+
+type timed = { tau : float; mutable tv : float option; mutable last : float }
+
+let timed ~tau =
+  if not (tau > 0.) then invalid_arg "Ewma.timed: tau must be positive";
+  { tau; tv = None; last = neg_infinity }
+
+let timed_update f ~now sample =
+  match f.tv with
+  | None ->
+    f.tv <- Some sample;
+    f.last <- now
+  | Some v ->
+    let dt = Float.max 0. (now -. f.last) in
+    let w = 1. -. exp (-.dt /. f.tau) in
+    f.tv <- Some (((1. -. w) *. v) +. (w *. sample));
+    f.last <- Float.max now f.last
+
+let timed_value f = f.tv
+
+let timed_value_exn f =
+  match f.tv with
+  | Some v -> v
+  | None -> invalid_arg "Ewma.timed_value_exn: no samples yet"
+
+let timed_reset f =
+  f.tv <- None;
+  f.last <- neg_infinity
+
+let rise_time_90 ~tau = log 10. *. tau

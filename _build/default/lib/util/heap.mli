@@ -1,0 +1,33 @@
+(** A mutable binary min-heap.
+
+    Used for the discrete-event queue ([nf_engine]) and the STFQ priority
+    queues in switch ports ([nf_sim]), so [push]/[pop] are the hot path and
+    are O(log n) with no allocation besides array growth. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp] (smallest first). *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> 'a list
+(** Non-destructive; O(n log n). Intended for tests and debugging. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Iterate in unspecified (heap) order. *)

@@ -1,0 +1,95 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64, used only to expand a seed into xoshiro state. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create ~seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* xoshiro256++ *)
+let bits64 t =
+  let open Int64 in
+  let result = add (rotl (add t.s0 t.s3) 23) t.s0 in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let state = ref (bits64 t) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+(* Uniform in [0, 1) using the top 53 bits. *)
+let unit_float t =
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let float t bound =
+  if not (bound > 0.) then invalid_arg "Rng.float: bound must be positive";
+  unit_float t *. bound
+
+let uniform t ~lo ~hi =
+  if not (hi > lo) then invalid_arg "Rng.uniform: hi must exceed lo";
+  lo +. (unit_float t *. (hi -. lo))
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free for our purposes: bias is negligible for bound << 2^63. *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (bits64 t) 1) (Int64.of_int bound))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let exponential t ~mean =
+  if not (mean > 0.) then invalid_arg "Rng.exponential: mean must be positive";
+  let u = 1. -. unit_float t in
+  -.mean *. log u
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle t a;
+  a
+
+let derangement_pairing t n =
+  if n < 2 then invalid_arg "Rng.derangement_pairing: n must be >= 2";
+  let rec try_once () =
+    let p = permutation t n in
+    let fixed = ref false in
+    Array.iteri (fun i v -> if i = v then fixed := true) p;
+    if !fixed then try_once () else p
+  in
+  try_once ()

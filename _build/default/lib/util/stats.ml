@@ -1,0 +1,115 @@
+let ensure_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg (name ^ ": empty sample array")
+
+let mean xs =
+  ensure_nonempty "Stats.mean" xs;
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let stddev xs =
+  ensure_nonempty "Stats.stddev" xs;
+  let m = mean xs in
+  let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0. xs in
+  sqrt (acc /. float_of_int (Array.length xs))
+
+let percentile xs p =
+  ensure_nonempty "Stats.percentile" xs;
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of [0, 100]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let median xs = percentile xs 50.
+
+type boxplot = {
+  p25 : float;
+  p50 : float;
+  p75 : float;
+  whisker_lo : float;
+  whisker_hi : float;
+}
+
+let boxplot xs =
+  ensure_nonempty "Stats.boxplot" xs;
+  let p25 = percentile xs 25. and p50 = median xs and p75 = percentile xs 75. in
+  let iqr = p75 -. p25 in
+  let lo_bound = p25 -. (1.5 *. iqr) and hi_bound = p75 +. (1.5 *. iqr) in
+  let whisker_lo = ref infinity and whisker_hi = ref neg_infinity in
+  Array.iter
+    (fun x ->
+      if x >= lo_bound && x < !whisker_lo then whisker_lo := x;
+      if x <= hi_bound && x > !whisker_hi then whisker_hi := x)
+    xs;
+  { p25; p50; p75; whisker_lo = !whisker_lo; whisker_hi = !whisker_hi }
+
+let cdf xs =
+  ensure_nonempty "Stats.cdf" xs;
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = float_of_int (Array.length sorted) in
+  let rec build i acc =
+    if i < 0 then acc
+    else begin
+      (* Keep only the last occurrence of each distinct value so the CDF is
+         right-continuous: P(X <= v). *)
+      let v = sorted.(i) in
+      match acc with
+      | (v', _) :: _ when v' = v -> build (i - 1) acc
+      | _ -> build (i - 1) ((v, float_of_int (i + 1) /. n) :: acc)
+    end
+  in
+  build (Array.length sorted - 1) []
+
+let cdf_at curve x =
+  let rec last_le acc = function
+    | [] -> acc
+    | (v, p) :: rest -> if v <= x then last_le p rest else acc
+  in
+  last_le 0. curve
+
+let jain_index xs =
+  ensure_nonempty "Stats.jain_index" xs;
+  let s = Array.fold_left ( +. ) 0. xs in
+  let s2 = Array.fold_left (fun acc x -> acc +. (x *. x)) 0. xs in
+  if s2 = 0. then 1. else s *. s /. (float_of_int (Array.length xs) *. s2)
+
+module Online = struct
+  type t = {
+    mutable n : int;
+    mutable m : float;
+    mutable s : float;
+    mutable mn : float;
+    mutable mx : float;
+  }
+
+  let create () = { n = 0; m = 0.; s = 0.; mn = infinity; mx = neg_infinity }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.m in
+    t.m <- t.m +. (delta /. float_of_int t.n);
+    t.s <- t.s +. (delta *. (x -. t.m));
+    if x < t.mn then t.mn <- x;
+    if x > t.mx then t.mx <- x
+
+  let count t = t.n
+
+  let mean t = t.m
+
+  let variance t = if t.n < 2 then 0. else t.s /. float_of_int t.n
+
+  let min t =
+    if t.n = 0 then invalid_arg "Stats.Online.min: empty accumulator";
+    t.mn
+
+  let max t =
+    if t.n = 0 then invalid_arg "Stats.Online.max: empty accumulator";
+    t.mx
+end

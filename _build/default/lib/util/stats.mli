@@ -1,0 +1,66 @@
+(** Descriptive statistics over float samples: percentiles, CDFs, box-plot
+    summaries, and a small online accumulator.
+
+    These back every "CDF of ..." and "box shows the 25th and 75th
+    percentiles" figure of the paper. *)
+
+val mean : float array -> float
+(** @raise Invalid_argument on an empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation. @raise Invalid_argument if empty. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0, 100\]], linear interpolation between
+    order statistics. Does not mutate [xs].
+    @raise Invalid_argument on an empty array. *)
+
+val median : float array -> float
+
+type boxplot = {
+  p25 : float;
+  p50 : float;
+  p75 : float;
+  whisker_lo : float;  (** lowest sample >= p25 - 1.5*IQR *)
+  whisker_hi : float;  (** highest sample <= p75 + 1.5*IQR *)
+}
+
+val boxplot : float array -> boxplot
+(** The box-and-whisker summary used by Figure 5 of the paper.
+    @raise Invalid_argument on an empty array. *)
+
+val cdf : float array -> (float * float) list
+(** [cdf xs] is the empirical CDF as [(value, P(X <= value))] pairs sorted
+    by value, one pair per distinct sample. *)
+
+val cdf_at : (float * float) list -> float -> float
+(** Evaluate an empirical CDF (as returned by {!cdf}) at a point; 0 before
+    the first sample, 1 after the last. *)
+
+val jain_index : float array -> float
+(** Jain's fairness index [(Σx)^2 / (n Σx^2)]: 1 for a perfectly even
+    allocation, 1/n when one member takes everything.
+    @raise Invalid_argument on an empty array. *)
+
+(** Online mean/variance/min/max accumulator (Welford). *)
+module Online : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> float -> unit
+
+  val count : t -> int
+
+  val mean : t -> float
+  (** 0 when empty. *)
+
+  val variance : t -> float
+  (** Population variance; 0 when fewer than 2 samples. *)
+
+  val min : t -> float
+  (** @raise Invalid_argument when empty. *)
+
+  val max : t -> float
+  (** @raise Invalid_argument when empty. *)
+end

@@ -1,0 +1,38 @@
+(** Unit conventions and conversions.
+
+    Throughout the code base: time is in {b seconds}, rates/capacities in
+    {b bits per second}, sizes in {b bytes} unless a name says otherwise.
+    These helpers exist so that literals in experiment code read like the
+    paper ("10 Gbps links", "16 µs RTT", "1 MB buffers"). *)
+
+val gbps : float -> float
+(** [gbps 10.] = 1e10 bits per second. *)
+
+val mbps : float -> float
+
+val usec : float -> float
+(** [usec 16.] = 1.6e-5 seconds. *)
+
+val msec : float -> float
+
+val kb : float -> float
+(** Kilobytes to bytes (factor 1e3, as in the paper's flow sizes). *)
+
+val mb : float -> float
+(** Megabytes to bytes (factor 1e6). *)
+
+val bytes_to_bits : float -> float
+
+val bits_to_bytes : float -> float
+
+val transmission_time : bytes:float -> rate_bps:float -> float
+(** Serialization delay of [bytes] at [rate_bps], in seconds. *)
+
+val pp_rate : Format.formatter -> float -> unit
+(** Pretty-print a rate in bps with an adaptive unit (Kbps/Mbps/Gbps). *)
+
+val pp_time : Format.formatter -> float -> unit
+(** Pretty-print a duration in seconds with an adaptive unit (ns/µs/ms/s). *)
+
+val pp_bytes : Format.formatter -> float -> unit
+(** Pretty-print a size in bytes with an adaptive unit (B/KB/MB/GB). *)

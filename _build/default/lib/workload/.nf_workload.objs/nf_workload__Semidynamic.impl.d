@@ -1,0 +1,1 @@
+lib/workload/semidynamic.ml: Array Hashtbl List Nf_util Stdlib Traffic

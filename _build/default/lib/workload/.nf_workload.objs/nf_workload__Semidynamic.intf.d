@@ -1,0 +1,1 @@
+lib/workload/semidynamic.mli: Nf_util Traffic

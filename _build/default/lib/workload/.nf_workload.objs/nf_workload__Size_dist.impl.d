@@ -1,0 +1,1 @@
+lib/workload/size_dist.ml: Array Float List Nf_util

@@ -1,0 +1,1 @@
+lib/workload/traffic.ml: Array List Nf_util Size_dist

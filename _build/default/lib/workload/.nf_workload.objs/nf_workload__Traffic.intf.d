@@ -1,0 +1,1 @@
+lib/workload/traffic.mli: Nf_util Size_dist

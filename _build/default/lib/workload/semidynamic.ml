@@ -1,0 +1,63 @@
+module Rng = Nf_util.Rng
+
+type event = { started : int list; stopped : int list }
+
+type t = {
+  pairs : Traffic.pair array;
+  initial : int list;
+  events : event list;
+}
+
+(* Pick [k] distinct elements uniformly from [candidates]. *)
+let pick_k rng candidates k =
+  let arr = Array.of_list candidates in
+  Rng.shuffle rng arr;
+  Array.to_list (Array.sub arr 0 (Stdlib.min k (Array.length arr)))
+
+let generate rng ~hosts ?(n_paths = 1000) ?(flows_per_event = 100)
+    ?(active_min = 300) ?(active_max = 500) ~n_events () =
+  if n_paths < active_max + flows_per_event then
+    invalid_arg "Semidynamic.generate: n_paths too small for the active band";
+  let pairs = Traffic.random_pairs rng ~hosts ~n:n_paths in
+  let active = Hashtbl.create n_paths in
+  let initial_count = (active_min + active_max) / 2 in
+  let initial = pick_k rng (List.init n_paths (fun i -> i)) initial_count in
+  List.iter (fun i -> Hashtbl.replace active i ()) initial;
+  let inactive () =
+    List.filter (fun i -> not (Hashtbl.mem active i)) (List.init n_paths (fun i -> i))
+  in
+  let actives () = Hashtbl.fold (fun k () acc -> k :: acc) active [] in
+  let events =
+    List.init n_events (fun _ ->
+        let n_active = Hashtbl.length active in
+        let must_start = n_active - flows_per_event < active_min in
+        let must_stop = n_active + flows_per_event > active_max in
+        let start =
+          if must_start then true
+          else if must_stop then false
+          else Rng.bool rng
+        in
+        if start then begin
+          let started = pick_k rng (inactive ()) flows_per_event in
+          List.iter (fun i -> Hashtbl.replace active i ()) started;
+          { started; stopped = [] }
+        end
+        else begin
+          let stopped = pick_k rng (actives ()) flows_per_event in
+          List.iter (fun i -> Hashtbl.remove active i) stopped;
+          { started = []; stopped }
+        end)
+  in
+  { pairs; initial; events }
+
+let active_after t k =
+  let active = Hashtbl.create 1024 in
+  List.iter (fun i -> Hashtbl.replace active i ()) t.initial;
+  List.iteri
+    (fun idx ev ->
+      if idx < k then begin
+        List.iter (fun i -> Hashtbl.replace active i ()) ev.started;
+        List.iter (fun i -> Hashtbl.remove active i) ev.stopped
+      end)
+    t.events;
+  List.sort compare (Hashtbl.fold (fun i () acc -> i :: acc) active [])

@@ -1,0 +1,37 @@
+(** The semi-dynamic convergence scenario of §6.1.
+
+    From a pool of [n_paths] random sender/receiver paths, a sequence of
+    {e network events} is generated; each event starts or stops
+    [flows_per_event] flows at once, keeping the active population inside
+    [active_min, active_max] (the paper: 1000 paths, 100 flows per event,
+    300–500 active, 100 events). After each event the time for the active
+    flows' rates to re-converge to the NUM optimum is measured. *)
+
+type event = {
+  started : int list;  (** path/flow indices activated by this event *)
+  stopped : int list;  (** indices deactivated *)
+}
+
+type t = {
+  pairs : Traffic.pair array;  (** index = flow id; length n_paths *)
+  initial : int list;  (** initially active flow indices *)
+  events : event list;
+}
+
+val generate :
+  Nf_util.Rng.t ->
+  hosts:int array ->
+  ?n_paths:int ->
+  ?flows_per_event:int ->
+  ?active_min:int ->
+  ?active_max:int ->
+  n_events:int ->
+  unit ->
+  t
+(** Defaults per the paper: [n_paths = 1000], [flows_per_event = 100],
+    [active_min = 300], [active_max = 500]. Each event uniformly chooses
+    start or stop, forced when the population would leave the band. *)
+
+val active_after : t -> int -> int list
+(** Active flow indices after the first [k] events ([k = 0]: the initial
+    set), sorted. *)

@@ -1,0 +1,611 @@
+(* Tests for nf_num: utilities, weighted max-min, bandwidth functions,
+   KKT checking, the xWI iteration and the Oracle solvers. *)
+
+module Utility = Nf_num.Utility
+module Problem = Nf_num.Problem
+module Maxmin = Nf_num.Maxmin
+module Bf = Nf_num.Bandwidth_function
+module Kkt = Nf_num.Kkt
+module Xwi = Nf_num.Xwi_core
+module Oracle = Nf_num.Oracle
+module Fcmp = Nf_util.Fcmp
+module Units = Nf_util.Units
+module Piecewise = Nf_util.Piecewise
+module Rng = Nf_util.Rng
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let slow name f = Alcotest.test_case name `Slow f
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let check_close ?(rel = 1e-9) what expected actual =
+  if not (Fcmp.rel_eq ~rel expected actual) then
+    Alcotest.failf "%s: expected %.10g, got %.10g" what expected actual
+
+let check_rates ?(rel = 1e-6) what expected actual =
+  Array.iteri
+    (fun i e ->
+      if not (Fcmp.rel_eq ~rel e actual.(i)) then
+        Alcotest.failf "%s: flow %d expected %.10g, got %.10g" what i e actual.(i))
+    expected
+
+(* ------------------------------------------------------------------ *)
+(* Utility functions *)
+
+let test_alpha_fair_log () =
+  let u = Utility.proportional_fair () in
+  check_close "U(x) = ln x" (log 5.) (u.Utility.value 5.);
+  check_close "U'(x) = 1/x" 0.2 (u.Utility.deriv 5.);
+  check_close "U'^-1(p) = 1/p" 5. (u.Utility.inv_deriv 0.2)
+
+let test_alpha_fair_weighted () =
+  let u = Utility.alpha_fair ~weight:3. ~alpha:2. () in
+  (* U'(x) = w^a x^-a = 9 x^-2 *)
+  check_close "deriv" (9. /. 25.) (u.Utility.deriv 5.);
+  check_close "inverse" 5. (u.Utility.inv_deriv (9. /. 25.))
+
+let test_alpha_fair_validation () =
+  Alcotest.check_raises "alpha 0"
+    (Invalid_argument "Utility.alpha_fair: alpha must be positive") (fun () ->
+      ignore (Utility.alpha_fair ~alpha:0. ()));
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Utility.alpha_fair: weight must be positive") (fun () ->
+      ignore (Utility.alpha_fair ~weight:(-1.) ~alpha:1. ()))
+
+let test_fct_matches_weighted_alpha () =
+  (* fct(size, eps) should equal alpha_fair(alpha = eps, w = size^(-1/eps)). *)
+  let size = 1e6 and eps = 0.125 in
+  let u = Utility.fct ~size ~eps in
+  let v = Utility.alpha_fair ~weight:(size ** (-1. /. eps)) ~alpha:eps () in
+  List.iter
+    (fun x ->
+      check_close "deriv agreement" (v.Utility.deriv x) (u.Utility.deriv x))
+    [ 1e3; 1e6; 1e9 ];
+  (* Marginal utility at equal rate is larger for smaller flows. *)
+  let small = Utility.fct ~size:1e3 ~eps in
+  Alcotest.(check bool) "smaller flows have steeper utility" true
+    (small.Utility.deriv 1e6 > u.Utility.deriv 1e6)
+
+let test_deadline_utility () =
+  (* Earlier deadlines get steeper utilities, hence priority. *)
+  let tight = Utility.deadline ~deadline:1e-3 ~eps:0.125 in
+  let loose = Utility.deadline ~deadline:50e-3 ~eps:0.125 in
+  Alcotest.(check bool) "tight deadline is steeper" true
+    (tight.Utility.deriv 1e9 > loose.Utility.deriv 1e9);
+  Alcotest.check_raises "bad deadline"
+    (Invalid_argument "Utility.deadline: deadline must be positive") (fun () ->
+      ignore (Utility.deadline ~deadline:0. ~eps:0.125))
+
+let test_fct_remaining_tracks () =
+  (* As a flow drains, its remaining-size utility steepens past a fresh
+     larger flow's. *)
+  let big = Utility.fct_remaining ~remaining:1e7 ~eps:0.125 in
+  let drained = Utility.fct_remaining ~remaining:1e4 ~eps:0.125 in
+  Alcotest.(check bool) "drained flow gains priority" true
+    (drained.Utility.deriv 1e8 > big.Utility.deriv 1e8);
+  (* Degenerate remaining values are clamped, not errors. *)
+  let z = Utility.fct_remaining ~remaining:0. ~eps:0.125 in
+  Alcotest.(check bool) "zero remaining clamps" true
+    (Float.is_finite (z.Utility.deriv 1e6))
+
+let test_rate_from_price_clamps () =
+  let u = Utility.proportional_fair () in
+  let r = Utility.rate_from_price u 0. in
+  Alcotest.(check bool) "zero price clamped, finite rate" true (Float.is_finite r);
+  let r2 = Utility.rate_from_price u ~max_rate:100. 0. in
+  check_close "max_rate clamp" 100. r2
+
+let prop_inv_deriv_roundtrip =
+  QCheck.Test.make ~name:"U'^-1 inverts U' for alpha-fair" ~count:300
+    QCheck.(triple (float_range 0.125 5.) (float_range 0.1 10.) (float_range 0.01 1e4))
+    (fun (alpha, weight, x) ->
+      let u = Utility.alpha_fair ~weight ~alpha () in
+      Fcmp.rel_eq ~rel:1e-6 x (u.Utility.inv_deriv (u.Utility.deriv x)))
+
+let prop_deriv_decreasing =
+  QCheck.Test.make ~name:"marginal utility decreases (concavity)" ~count:300
+    QCheck.(triple (float_range 0.125 5.) (float_range 0.01 100.) (float_range 1.01 10.))
+    (fun (alpha, x, factor) ->
+      let u = Utility.alpha_fair ~alpha () in
+      u.Utility.deriv (x *. factor) < u.Utility.deriv x)
+
+let prop_value_increasing =
+  QCheck.Test.make ~name:"utility value increases in rate" ~count:300
+    QCheck.(triple (float_range 0.125 5.) (float_range 0.01 100.) (float_range 1.01 10.))
+    (fun (alpha, x, factor) ->
+      let u = Utility.alpha_fair ~alpha () in
+      u.Utility.value (x *. factor) > u.Utility.value x)
+
+(* ------------------------------------------------------------------ *)
+(* Weighted max-min *)
+
+let single_link_paths n = Array.make n [| 0 |]
+
+let test_maxmin_single_link_equal () =
+  let r =
+    Maxmin.solve ~caps:[| 10. |] ~paths:(single_link_paths 4)
+      ~weights:[| 1.; 1.; 1.; 1. |]
+  in
+  check_rates "equal split" [| 2.5; 2.5; 2.5; 2.5 |] r.Maxmin.rates;
+  Array.iter (fun b -> Alcotest.(check int) "bottleneck" 0 b) r.Maxmin.bottleneck
+
+let test_maxmin_single_link_weighted () =
+  let r =
+    Maxmin.solve ~caps:[| 10. |] ~paths:(single_link_paths 2) ~weights:[| 1.; 3. |]
+  in
+  check_rates "weighted split" [| 2.5; 7.5 |] r.Maxmin.rates;
+  check_close "fair share" 2.5 r.Maxmin.fair_share.(0);
+  check_close "fair share equal across flows" r.Maxmin.fair_share.(0)
+    r.Maxmin.fair_share.(1)
+
+let test_maxmin_two_bottlenecks () =
+  (* l0: cap 10 (flows A, B); l1: cap 4 (flows A, C); equal weights.
+     A and C freeze at 2 on l1; B then takes 8 on l0. *)
+  let paths = [| [| 0; 1 |]; [| 0 |]; [| 1 |] |] in
+  let r = Maxmin.solve ~caps:[| 10.; 4. |] ~paths ~weights:[| 1.; 1.; 1. |] in
+  check_rates "multi-bottleneck" [| 2.; 8.; 2. |] r.Maxmin.rates;
+  Alcotest.(check int) "A bottleneck is l1" 1 r.Maxmin.bottleneck.(0);
+  Alcotest.(check int) "B bottleneck is l0" 0 r.Maxmin.bottleneck.(1)
+
+let test_maxmin_parking_lot () =
+  (* 3 chain links cap 9; long flow over all, one local flow per link. *)
+  let paths = [| [| 0; 1; 2 |]; [| 0 |]; [| 1 |]; [| 2 |] |] in
+  let r =
+    Maxmin.solve ~caps:[| 9.; 9.; 9. |] ~paths ~weights:[| 1.; 1.; 1.; 1. |]
+  in
+  check_rates "parking lot" [| 4.5; 4.5; 4.5; 4.5 |] r.Maxmin.rates
+
+let test_maxmin_validation () =
+  Alcotest.check_raises "zero weight"
+    (Invalid_argument "Maxmin.solve: non-positive weight") (fun () ->
+      ignore (Maxmin.solve ~caps:[| 1. |] ~paths:(single_link_paths 1) ~weights:[| 0. |]));
+  Alcotest.check_raises "empty path" (Invalid_argument "Maxmin.solve: empty path")
+    (fun () -> ignore (Maxmin.solve ~caps:[| 1. |] ~paths:[| [||] |] ~weights:[| 1. |]))
+
+let random_single_path_instance rng =
+  let n_links = 2 + Rng.int rng 4 in
+  let caps = Array.init n_links (fun _ -> Rng.uniform rng ~lo:1. ~hi:10.) in
+  let n_flows = 2 + Rng.int rng 5 in
+  let paths =
+    Array.init n_flows (fun _ ->
+        let len = 1 + Rng.int rng (min 3 n_links) in
+        let perm = Rng.permutation rng n_links in
+        Array.sub perm 0 len)
+  in
+  let weights = Array.init n_flows (fun _ -> Rng.uniform rng ~lo:0.2 ~hi:5.) in
+  (caps, paths, weights)
+
+let prop_maxmin_is_maxmin =
+  QCheck.Test.make ~name:"water-filling output satisfies max-min conditions"
+    ~count:300 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let caps, paths, weights = random_single_path_instance rng in
+      let r = Maxmin.solve ~caps ~paths ~weights in
+      Maxmin.is_maxmin ~caps ~paths ~weights r.Maxmin.rates)
+
+let prop_maxmin_feasible_and_positive =
+  QCheck.Test.make ~name:"water-filling is feasible with positive rates"
+    ~count:300 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let caps, paths, weights = random_single_path_instance rng in
+      let r = Maxmin.solve ~caps ~paths ~weights in
+      let loads = Array.make (Array.length caps) 0. in
+      Array.iteri
+        (fun i p -> Array.iter (fun l -> loads.(l) <- loads.(l) +. r.Maxmin.rates.(i)) p)
+        paths;
+      Array.for_all (fun x -> x > 0.) r.Maxmin.rates
+      && Array.for_all2 (fun load cap -> load <= cap *. (1. +. 1e-9)) loads caps)
+
+let prop_maxmin_scale_invariant =
+  QCheck.Test.make ~name:"scaling all weights leaves rates unchanged" ~count:200
+    QCheck.(pair small_int (float_range 0.1 100.))
+    (fun (seed, k) ->
+      let rng = Rng.create ~seed in
+      let caps, paths, weights = random_single_path_instance rng in
+      let r1 = Maxmin.solve ~caps ~paths ~weights in
+      let r2 = Maxmin.solve ~caps ~paths ~weights:(Array.map (fun w -> w *. k) weights) in
+      Array.for_all2 (Fcmp.rel_eq ~rel:1e-6) r1.Maxmin.rates r2.Maxmin.rates)
+
+(* ------------------------------------------------------------------ *)
+(* Bandwidth functions *)
+
+let test_bf_fig2_shape () =
+  let b1 = Bf.fig2_flow1 () and b2 = Bf.fig2_flow2 () in
+  check_close "B1(2) = 10G" (Units.gbps 10.) (Bf.bandwidth b1 2.);
+  check_close "B1(2.5) = 15G" (Units.gbps 15.) (Bf.bandwidth b1 2.5);
+  Alcotest.(check bool) "B2(2) ~ 0" true (Bf.bandwidth b2 2. < Units.mbps 1.);
+  check_close ~rel:1e-3 "B2(2.5) = 10G" (Units.gbps 10.) (Bf.bandwidth b2 2.5)
+
+let test_bf_fig2_allocation_10g () =
+  let bfs = [| Bf.fig2_flow1 (); Bf.fig2_flow2 () |] in
+  let rates, f = Bf.single_link_allocation ~bfs ~capacity:(Units.gbps 10.) in
+  (* Flow 1 has strict priority on the first 10 Gbps. *)
+  check_close ~rel:1e-3 "flow1 gets everything" (Units.gbps 10.) rates.(0);
+  Alcotest.(check bool) "flow2 gets ~nothing" true (rates.(1) < Units.mbps 10.);
+  Alcotest.(check bool) "fair share ~2" true (Float.abs (f -. 2.) < 0.01)
+
+let test_bf_fig2_allocation_25g () =
+  let bfs = [| Bf.fig2_flow1 (); Bf.fig2_flow2 () |] in
+  let rates, f = Bf.single_link_allocation ~bfs ~capacity:(Units.gbps 25.) in
+  check_close ~rel:1e-3 "flow1 15G" (Units.gbps 15.) rates.(0);
+  check_close ~rel:1e-3 "flow2 10G" (Units.gbps 10.) rates.(1);
+  Alcotest.(check bool) "fair share ~2.5" true (Float.abs (f -. 2.5) < 0.01)
+
+let test_bf_fair_share_roundtrip () =
+  let b1 = Bf.fig2_flow1 () in
+  List.iter
+    (fun f -> check_close ~rel:1e-9 "F(B(f)) = f" f (Bf.fair_share b1 (Bf.bandwidth b1 f)))
+    [ 0.5; 1.; 2.; 2.25; 3. ]
+
+let test_bf_create_requires_origin () =
+  Alcotest.check_raises "must start at origin"
+    (Invalid_argument "Bandwidth_function.create: curve must start at (0, 0)")
+    (fun () -> ignore (Bf.create (Piecewise.of_points [ (1., 0.); (2., 1.) ])))
+
+let test_bf_utility_consistency () =
+  let b1 = Bf.fig2_flow1 () in
+  let u = Bf.utility b1 ~alpha:5. in
+  (* inv_deriv inverts deriv on the rising part of the curve. *)
+  List.iter
+    (fun x ->
+      check_close ~rel:1e-6 "U'^-1(U'(x)) = x" x (u.Utility.inv_deriv (u.Utility.deriv x)))
+    [ Units.gbps 2.; Units.gbps 10.; Units.gbps 14. ]
+
+let test_bf_waterfill_matches_single_link () =
+  let bfs = [| Bf.fig2_flow1 (); Bf.fig2_flow2 () |] in
+  let cap = Units.gbps 25. in
+  let expected, _ = Bf.single_link_allocation ~bfs ~capacity:cap in
+  let got = Bf.waterfill ~caps:[| cap |] ~paths:[| [| 0 |]; [| 0 |] |] ~bfs in
+  check_rates ~rel:1e-3 "waterfill single link" expected got
+
+let test_bf_waterfill_two_links () =
+  (* Flow 1 on link 0 only (cap 10G), flow 2 on both links (link 1 cap 4G),
+     both with the identity bandwidth function B(f) = f Gbps:
+     flow 2 freezes at 4G on link 1; flow 1 continues to 6G... but link 0
+     has 10G so flow 1 freezes at 6G only if link 0 saturates: 4 + 6 = 10. *)
+  let identity =
+    Bf.create (Piecewise.of_points [ (0., 0.); (100., Units.gbps 100.) ])
+  in
+  let got =
+    Bf.waterfill
+      ~caps:[| Units.gbps 10.; Units.gbps 4. |]
+      ~paths:[| [| 0 |]; [| 0; 1 |] |]
+      ~bfs:[| identity; identity |]
+  in
+  check_rates ~rel:1e-3 "two-link waterfill" [| Units.gbps 6.; Units.gbps 4. |] got
+
+(* ------------------------------------------------------------------ *)
+(* Oracle (dual) against closed forms *)
+
+let single_link_problem ~cap utilities =
+  Problem.create ~caps:[| cap |]
+    ~groups:(List.map (fun u -> Problem.single_path u [| 0 |]) utilities)
+
+let test_oracle_dual_single_link_proportional () =
+  let u = Utility.proportional_fair () in
+  let p = single_link_problem ~cap:10. [ u; u; u; u ] in
+  let sol = Oracle.solve_dual p in
+  check_rates ~rel:1e-4 "equal shares" [| 2.5; 2.5; 2.5; 2.5 |] sol.Oracle.rates
+
+let test_oracle_dual_single_link_weighted () =
+  (* Weighted proportional fairness on one link: x_i = w_i / sum_w * C. *)
+  let us =
+    [ Utility.proportional_fair ~weight:1. ();
+      Utility.proportional_fair ~weight:2. ();
+      Utility.proportional_fair ~weight:5. () ]
+  in
+  let p = single_link_problem ~cap:16. us in
+  let sol = Oracle.solve_dual p in
+  check_rates ~rel:1e-4 "weighted shares" [| 2.; 4.; 10. |] sol.Oracle.rates
+
+let parking_lot_problem ~alpha ~cap =
+  (* Flow 0 over links 0 and 1; flow 1 on link 0; flow 2 on link 1. *)
+  let u = Utility.alpha_fair ~alpha () in
+  Problem.create ~caps:[| cap; cap |]
+    ~groups:
+      [
+        Problem.single_path u [| 0; 1 |];
+        Problem.single_path u [| 0 |];
+        Problem.single_path u [| 1 |];
+      ]
+
+let test_oracle_dual_parking_lot_alpha1 () =
+  (* alpha = 1: x0 = C/3, x1 = x2 = 2C/3. *)
+  let p = parking_lot_problem ~alpha:1. ~cap:9. in
+  let sol = Oracle.solve_dual p in
+  check_rates ~rel:1e-4 "proportional parking lot" [| 3.; 6.; 6. |] sol.Oracle.rates
+
+let test_oracle_dual_parking_lot_alpha2 () =
+  (* alpha = 2: with y = x1 = x2 and x0 = y / sqrt 2, x0 + y = C. *)
+  let cap = 10. in
+  let p = parking_lot_problem ~alpha:2. ~cap in
+  let sol = Oracle.solve_dual p in
+  let y = cap /. (1. +. (1. /. sqrt 2.)) in
+  check_rates ~rel:1e-4 "alpha=2 parking lot" [| y /. sqrt 2.; y; y |] sol.Oracle.rates
+
+let test_oracle_dual_rejects_multipath () =
+  let u = Utility.proportional_fair () in
+  let p =
+    Problem.create ~caps:[| 1.; 1. |]
+      ~groups:[ { Problem.utility = u; paths = [ [| 0 |]; [| 1 |] ] } ]
+  in
+  Alcotest.check_raises "multipath rejected"
+    (Invalid_argument "Oracle.solve_dual: multipath problems are not supported")
+    (fun () -> ignore (Oracle.solve_dual p))
+
+let test_oracle_dual_kkt_certified () =
+  let p = parking_lot_problem ~alpha:0.5 ~cap:4. in
+  let sol = Oracle.solve_dual p in
+  Alcotest.(check bool) "kkt residual small" true (Kkt.worst sol.Oracle.kkt < 1e-8)
+
+(* ------------------------------------------------------------------ *)
+(* xWI fixed point *)
+
+let test_xwi_single_link_proportional () =
+  let u = Utility.proportional_fair () in
+  let p = single_link_problem ~cap:10. [ u; u ] in
+  let state = Xwi.init p in
+  let run = Xwi.run_to_fixpoint ~tol:1e-12 p Xwi.default_params state in
+  Alcotest.(check bool) "converged" true run.Xwi.converged;
+  check_rates ~rel:1e-6 "equal shares" [| 5.; 5. |] state.Xwi.rates
+
+let test_xwi_matches_dual_on_parking_lot () =
+  List.iter
+    (fun alpha ->
+      let p = parking_lot_problem ~alpha ~cap:8. in
+      let dual = Oracle.solve_dual p in
+      let sol = Oracle.solve ~tol:1e-5 p in
+      check_rates ~rel:1e-3
+        (Printf.sprintf "alpha=%g" alpha)
+        dual.Oracle.rates sol.Oracle.rates)
+    [ 0.5; 1.; 2. ]
+
+let test_xwi_prices_drive_weights () =
+  (* At the fixed point, weights equal the optimal rates (paper §4.2). *)
+  let u = Utility.proportional_fair () in
+  let p = single_link_problem ~cap:10. [ u; u; u; u ] in
+  let state = Xwi.init p in
+  ignore (Xwi.run_to_fixpoint ~tol:1e-13 p Xwi.default_params state);
+  Array.iteri
+    (fun i w -> check_close ~rel:1e-5 (Printf.sprintf "w%d = x%d" i i) state.Xwi.rates.(i) w)
+    state.Xwi.weights
+
+let test_xwi_multipath_pooling () =
+  (* Two links of capacity 4 and 6; one multipath group with a sub-flow on
+     each and log utility of the total; plus one single-path competitor on
+     link 0 with log utility. NUM: maximize ln(y) + ln(z) with
+     y = x_a + x_b, x_a + z <= 4, x_b <= 6. Optimum: pooled flow saturates
+     link 1 (x_b = 6); on link 0, ln(y)' = 1/(6 + x_a) < ln(z)' = 1/z at
+     equal split, so z > x_a. Solving: p0 = 1/z = 1/(6 + x_a), with
+     x_a + z = 4 -> x_a = -1? Infeasible: x_a = 0 (unused sub-flow),
+     z = 4, y = 6, with p0 = 1/4 > 1/6 = U'(y): KKT holds with the unused
+     sub-flow's path price exceeding the group's marginal utility. *)
+  let pool =
+    { Problem.utility = Utility.proportional_fair (); paths = [ [| 0 |]; [| 1 |] ] }
+  in
+  let solo = Problem.single_path (Utility.proportional_fair ()) [| 0 |] in
+  let p = Problem.create ~caps:[| 4.; 6. |] ~groups:[ pool; solo ] in
+  let sol = Oracle.solve ~tol:1e-4 p in
+  check_close ~rel:1e-3 "pooled total" 6. sol.Oracle.group_rates.(0);
+  check_close ~rel:1e-3 "solo" 4. sol.Oracle.group_rates.(1);
+  Alcotest.(check bool) "sub-flow a idle" true (sol.Oracle.rates.(0) < 0.05)
+
+let prop_xwi_matches_dual_random =
+  QCheck.Test.make ~name:"xWI fixed point matches dual solver on random problems"
+    ~count:25 QCheck.(pair small_int (0 -- 2))
+    (fun (seed, alpha_idx) ->
+      let alpha = [| 0.5; 1.; 2. |].(alpha_idx) in
+      let rng = Rng.create ~seed:(seed + 1000) in
+      let caps, paths, weights = random_single_path_instance rng in
+      let groups =
+        Array.to_list
+          (Array.map2
+             (fun path w ->
+               Problem.single_path (Utility.alpha_fair ~weight:w ~alpha ()) path)
+             paths weights)
+      in
+      let p = Problem.create ~caps ~groups in
+      match Oracle.solve_dual ~tol:1e-7 p with
+      | exception Oracle.Did_not_converge _ -> QCheck.assume_fail ()
+      | dual -> (
+        match Oracle.solve ~tol:1e-5 p with
+        | exception Oracle.Did_not_converge _ -> false
+        | sol ->
+          Array.for_all2
+            (fun a b -> Fcmp.rel_eq ~rel:5e-3 a b)
+            dual.Oracle.rates sol.Oracle.rates))
+
+let prop_xwi_fixed_point_unique =
+  (* The paper proves the xWI fixed point is unique; numerically: starting
+     the iteration from very different price vectors must reach the same
+     rates (cf. the technical report's randomized experiments). *)
+  QCheck.Test.make ~name:"xWI fixed point is independent of the initial prices"
+    ~count:30 QCheck.(pair small_int (1 -- 3))
+    (fun (seed, scale_exp) ->
+      let rng = Rng.create ~seed:(seed + 500) in
+      let caps, paths, weights = random_single_path_instance rng in
+      let groups =
+        Array.to_list
+          (Array.map2
+             (fun path w ->
+               Problem.single_path (Utility.alpha_fair ~weight:w ~alpha:1. ()) path)
+             paths weights)
+      in
+      let p = Problem.create ~caps ~groups in
+      let solve_from prices =
+        let state = Xwi.init_with_prices p ~prices in
+        ignore (Xwi.run_until_kkt ~tol:1e-8 ~max_iters:20_000 p Xwi.default_params state);
+        state.Xwi.rates
+      in
+      let n_links = Array.length caps in
+      let lo = solve_from (Array.make n_links 1e-12) in
+      let hi = solve_from (Array.make n_links (10. ** float_of_int scale_exp)) in
+      Array.for_all2 (fun a b -> Fcmp.rel_eq ~rel:1e-4 a b) lo hi)
+
+let prop_multipath_oracle_kkt =
+  (* Random multipath instances: the general Oracle must return solutions
+     whose KKT residuals certify optimality. *)
+  QCheck.Test.make ~name:"multipath oracle solutions satisfy KKT" ~count:20
+    QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create ~seed:(seed + 900) in
+      let n_links = 3 + Rng.int rng 3 in
+      let caps = Array.init n_links (fun _ -> Rng.uniform rng ~lo:1. ~hi:10.) in
+      let n_groups = 2 + Rng.int rng 3 in
+      let groups =
+        List.init n_groups (fun _ ->
+            let n_sub = 1 + Rng.int rng 2 in
+            let paths =
+              List.init n_sub (fun _ ->
+                  let len = 1 + Rng.int rng 2 in
+                  Array.sub (Rng.permutation rng n_links) 0 len)
+            in
+            { Problem.utility = Utility.proportional_fair (); paths })
+      in
+      let p = Problem.create ~caps ~groups in
+      match Oracle.solve ~tol:1e-4 p with
+      | sol -> Kkt.worst sol.Oracle.kkt <= 1e-4
+      | exception Oracle.Did_not_converge _ -> QCheck.assume_fail ())
+
+(* ------------------------------------------------------------------ *)
+(* KKT checker *)
+
+let test_kkt_detects_infeasible () =
+  let u = Utility.proportional_fair () in
+  let p = single_link_problem ~cap:10. [ u; u ] in
+  let r = Kkt.check p ~rates:[| 8.; 8. |] ~prices:[| 0.125 |] in
+  Alcotest.(check bool) "overload detected" true (r.Kkt.feasibility > 0.5)
+
+let test_kkt_detects_bad_stationarity () =
+  let u = Utility.proportional_fair () in
+  let p = single_link_problem ~cap:10. [ u; u ] in
+  (* Feasible but prices inconsistent with rates. *)
+  let r = Kkt.check p ~rates:[| 5.; 5. |] ~prices:[| 1. |] in
+  Alcotest.(check bool) "stationarity violated" true (r.Kkt.stationarity > 0.5)
+
+let test_kkt_accepts_optimum () =
+  let u = Utility.proportional_fair () in
+  let p = single_link_problem ~cap:10. [ u; u ] in
+  let r = Kkt.check p ~rates:[| 5.; 5. |] ~prices:[| 0.2 |] in
+  Alcotest.(check bool) "optimal accepted" true (Kkt.worst r < 1e-9)
+
+let test_kkt_slackness () =
+  let u = Utility.proportional_fair () in
+  (* Two links, flow only uses link 0; a positive price on idle link 1 must
+     show up as a slackness violation. *)
+  let p =
+    Problem.create ~caps:[| 10.; 10. |] ~groups:[ Problem.single_path u [| 0 |] ]
+  in
+  let r = Kkt.check p ~rates:[| 10. |] ~prices:[| 0.1; 0.1 |] in
+  Alcotest.(check bool) "slack priced link flagged" true (r.Kkt.slackness > 0.5)
+
+(* ------------------------------------------------------------------ *)
+(* Problem structure *)
+
+let test_problem_structure () =
+  let u = Utility.proportional_fair () in
+  let group = { Problem.utility = u; paths = [ [| 0 |]; [| 1; 2 |] ] } in
+  let solo = Problem.single_path u [| 0; 2 |] in
+  let p = Problem.create ~caps:[| 1.; 2.; 3. |] ~groups:[ group; solo ] in
+  Alcotest.(check int) "flows" 3 (Problem.n_flows p);
+  Alcotest.(check int) "groups" 2 (Problem.n_groups p);
+  Alcotest.(check bool) "not single path" false (Problem.is_single_path p);
+  Alcotest.(check int) "flow 1 group" 0 (Problem.flow_group p 1);
+  Alcotest.(check int) "flow 2 group" 1 (Problem.flow_group p 2);
+  Alcotest.(check (array int)) "link 2 flows" [| 1; 2 |] (Problem.link_flows p 2);
+  let rates = [| 1.; 2.; 4. |] in
+  check_close "group rate" 3. (Problem.group_rate p ~rates 0);
+  let loads = Problem.link_loads p ~rates in
+  check_close "load l0" 5. loads.(0);
+  check_close "load l2" 6. loads.(2);
+  check_close "path price" 5. (Problem.path_price p ~prices:[| 1.; 2.; 4. |] 2);
+  Alcotest.(check bool) "feasible check" false (Problem.feasible p ~rates)
+
+let test_problem_validation () =
+  let u = Utility.proportional_fair () in
+  Alcotest.check_raises "empty path" (Invalid_argument "Problem.create: empty path")
+    (fun () ->
+      ignore (Problem.create ~caps:[| 1. |] ~groups:[ Problem.single_path u [||] ]));
+  Alcotest.check_raises "bad link"
+    (Invalid_argument "Problem.create: link id out of range") (fun () ->
+      ignore (Problem.create ~caps:[| 1. |] ~groups:[ Problem.single_path u [| 3 |] ]))
+
+let () =
+  Alcotest.run "nf_num"
+    [
+      ( "utility",
+        [
+          quick "log utility" test_alpha_fair_log;
+          quick "weighted alpha-fair" test_alpha_fair_weighted;
+          quick "validation" test_alpha_fair_validation;
+          quick "fct = weighted alpha-fair" test_fct_matches_weighted_alpha;
+          quick "deadline utility (EDF)" test_deadline_utility;
+          quick "remaining-size utility (SRPT)" test_fct_remaining_tracks;
+          quick "price clamping" test_rate_from_price_clamps;
+          qcheck prop_inv_deriv_roundtrip;
+          qcheck prop_deriv_decreasing;
+          qcheck prop_value_increasing;
+        ] );
+      ( "maxmin",
+        [
+          quick "single link equal" test_maxmin_single_link_equal;
+          quick "single link weighted" test_maxmin_single_link_weighted;
+          quick "two bottlenecks" test_maxmin_two_bottlenecks;
+          quick "parking lot" test_maxmin_parking_lot;
+          quick "validation" test_maxmin_validation;
+          qcheck prop_maxmin_is_maxmin;
+          qcheck prop_maxmin_feasible_and_positive;
+          qcheck prop_maxmin_scale_invariant;
+        ] );
+      ( "bandwidth_function",
+        [
+          quick "fig2 curves" test_bf_fig2_shape;
+          quick "fig2 allocation at 10G" test_bf_fig2_allocation_10g;
+          quick "fig2 allocation at 25G" test_bf_fig2_allocation_25g;
+          quick "fair-share roundtrip" test_bf_fair_share_roundtrip;
+          quick "origin required" test_bf_create_requires_origin;
+          quick "utility consistency" test_bf_utility_consistency;
+          quick "waterfill matches single link" test_bf_waterfill_matches_single_link;
+          quick "waterfill two links" test_bf_waterfill_two_links;
+        ] );
+      ( "oracle",
+        [
+          quick "single link proportional" test_oracle_dual_single_link_proportional;
+          quick "single link weighted" test_oracle_dual_single_link_weighted;
+          quick "parking lot alpha=1" test_oracle_dual_parking_lot_alpha1;
+          quick "parking lot alpha=2" test_oracle_dual_parking_lot_alpha2;
+          quick "multipath rejected" test_oracle_dual_rejects_multipath;
+          quick "kkt certified" test_oracle_dual_kkt_certified;
+        ] );
+      ( "xwi",
+        [
+          quick "single link proportional" test_xwi_single_link_proportional;
+          quick "matches dual on parking lot" test_xwi_matches_dual_on_parking_lot;
+          quick "fixed-point weights equal rates" test_xwi_prices_drive_weights;
+          quick "multipath pooling" test_xwi_multipath_pooling;
+          slow "matches dual on random problems" (fun () ->
+              match
+                QCheck.Test.check_exn prop_xwi_matches_dual_random
+              with
+              | () -> ()
+              | exception QCheck.Test.Test_fail (_, _) ->
+                Alcotest.fail "random xWI/dual mismatch");
+          qcheck prop_xwi_fixed_point_unique;
+          qcheck prop_multipath_oracle_kkt;
+        ] );
+      ( "kkt",
+        [
+          quick "detects infeasible" test_kkt_detects_infeasible;
+          quick "detects bad stationarity" test_kkt_detects_bad_stationarity;
+          quick "accepts optimum" test_kkt_accepts_optimum;
+          quick "detects slackness violation" test_kkt_slackness;
+        ] );
+      ( "problem",
+        [
+          quick "structure" test_problem_structure;
+          quick "validation" test_problem_validation;
+        ] );
+    ]

@@ -1,0 +1,533 @@
+(* Tests for nf_sim: queue disciplines, price engines, and end-to-end
+   packet-level behaviour of all five transports. *)
+
+module Packet = Nf_sim.Packet
+module Queue_disc = Nf_sim.Queue_disc
+module Price_engine = Nf_sim.Price_engine
+module Network = Nf_sim.Network
+module Builders = Nf_topo.Builders
+module Utility = Nf_num.Utility
+module Fcmp = Nf_util.Fcmp
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let check_rate what ~frac expected actual =
+  if not (Fcmp.within_fraction ~frac ~actual ~target:expected) then
+    Alcotest.failf "%s: expected %.3g within %g%%, got %.3g" what expected
+      (100. *. frac) actual
+
+let mk ?(flow = 0) ?(seq = 0) ?(size = 1500) ?(vpl = 1500.) ?(prio = infinity) () =
+  let p = Packet.make_data ~flow ~seq ~size ~path:[| 0 |] ~now:0. in
+  p.Packet.virtual_packet_len <- vpl;
+  p.Packet.priority <- prio;
+  p
+
+(* ------------------------------------------------------------------ *)
+(* Queue disciplines *)
+
+let test_fifo_order_and_drop () =
+  let q = Queue_disc.fifo ~limit_bytes:4000 () in
+  Alcotest.(check bool) "e1" true (q.Queue_disc.enqueue (mk ~seq:1 ()));
+  Alcotest.(check bool) "e2" true (q.Queue_disc.enqueue (mk ~seq:2 ()));
+  Alcotest.(check bool) "e3 dropped (over limit)" false
+    (q.Queue_disc.enqueue (mk ~seq:3 ()));
+  Alcotest.(check int) "drops" 1 (q.Queue_disc.drops ());
+  Alcotest.(check int) "bytes" 3000 (q.Queue_disc.byte_length ());
+  (match q.Queue_disc.dequeue () with
+  | Some p -> Alcotest.(check int) "FIFO head" 1 p.Packet.seq
+  | None -> Alcotest.fail "empty");
+  Alcotest.(check int) "bytes after dequeue" 1500 (q.Queue_disc.byte_length ())
+
+let test_ecn_marking () =
+  let q = Queue_disc.ecn_fifo ~mark_threshold_bytes:2000 () in
+  let p1 = mk ~seq:1 () and p2 = mk ~seq:2 () and p3 = mk ~seq:3 () in
+  ignore (q.Queue_disc.enqueue p1);
+  ignore (q.Queue_disc.enqueue p2);
+  ignore (q.Queue_disc.enqueue p3);
+  Alcotest.(check bool) "first unmarked" false p1.Packet.ecn;
+  Alcotest.(check bool) "second unmarked (at 1500 <= K)" false p2.Packet.ecn;
+  Alcotest.(check bool) "third marked (3000 > K)" true p3.Packet.ecn
+
+let test_stfq_weighted_service () =
+  let q = Queue_disc.stfq () in
+  (* Flow 0 has weight 1 (vpl 1500), flow 1 weight 3 (vpl 500). *)
+  for i = 0 to 11 do
+    ignore (q.Queue_disc.enqueue (mk ~flow:0 ~seq:i ~vpl:1500. ()));
+    ignore (q.Queue_disc.enqueue (mk ~flow:1 ~seq:i ~vpl:500. ()))
+  done;
+  let served = Array.make 2 0 in
+  for _ = 1 to 12 do
+    match q.Queue_disc.dequeue () with
+    | Some p -> served.(p.Packet.flow) <- served.(p.Packet.flow) + 1
+    | None -> Alcotest.fail "queue empty early"
+  done;
+  (* In 12 services the 3:1 weights should give roughly 9:3. *)
+  Alcotest.(check bool) "weighted service ratio" true
+    (served.(1) >= 8 && served.(1) <= 10)
+
+let test_stfq_control_packets_jump () =
+  let q = Queue_disc.stfq () in
+  for i = 0 to 5 do
+    ignore (q.Queue_disc.enqueue (mk ~flow:0 ~seq:i ~vpl:1500. ()))
+  done;
+  (* A control packet (vpl = 0) enqueued last should be served at the
+     current virtual time, i.e. before most queued data. *)
+  let ack = Packet.make_ack ~data:(mk ~flow:7 ()) ~path:[| 0 |] ~now:0. in
+  ignore (q.Queue_disc.enqueue ack);
+  ignore (q.Queue_disc.dequeue ());
+  (* after one data service, V > 0 *)
+  match q.Queue_disc.dequeue () with
+  | Some p -> Alcotest.(check int) "ack served promptly" 7 p.Packet.flow
+  | None -> Alcotest.fail "empty"
+
+let test_stfq_per_flow_order () =
+  let q = Queue_disc.stfq () in
+  for i = 0 to 9 do
+    ignore (q.Queue_disc.enqueue (mk ~flow:0 ~seq:i ~vpl:(1500. /. float_of_int (1 + i)) ()))
+  done;
+  let last = ref (-1) in
+  let ok = ref true in
+  for _ = 1 to 10 do
+    match q.Queue_disc.dequeue () with
+    | Some p ->
+      if p.Packet.seq <> !last + 1 then ok := false;
+      last := p.Packet.seq
+    | None -> ok := false
+  done;
+  Alcotest.(check bool) "packets of one flow stay in order" true !ok
+
+let test_pfabric_priority () =
+  let q = Queue_disc.pfabric ~limit_bytes:6000 () in
+  ignore (q.Queue_disc.enqueue (mk ~flow:0 ~seq:0 ~prio:9000. ()));
+  ignore (q.Queue_disc.enqueue (mk ~flow:1 ~seq:0 ~prio:3000. ()));
+  ignore (q.Queue_disc.enqueue (mk ~flow:2 ~seq:0 ~prio:6000. ()));
+  (match q.Queue_disc.dequeue () with
+  | Some p -> Alcotest.(check int) "smallest remaining first" 1 p.Packet.flow
+  | None -> Alcotest.fail "empty");
+  (* Fill up, then a higher-priority (smaller) arrival evicts the worst. *)
+  ignore (q.Queue_disc.enqueue (mk ~flow:3 ~seq:0 ~prio:7000. ()));
+  ignore (q.Queue_disc.enqueue (mk ~flow:4 ~seq:0 ~prio:8000. ()));
+  Alcotest.(check int) "full" 4 (q.Queue_disc.packet_count ());
+  Alcotest.(check bool) "urgent arrival accepted" true
+    (q.Queue_disc.enqueue (mk ~flow:5 ~seq:0 ~prio:100. ()));
+  Alcotest.(check int) "one drop" 1 (q.Queue_disc.drops ());
+  (* Flow 0 (prio 9000) must be the one that was evicted. *)
+  let seen = ref [] in
+  let rec drain () =
+    match q.Queue_disc.dequeue () with
+    | Some p ->
+      seen := p.Packet.flow :: !seen;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check bool) "worst evicted" false (List.mem 0 !seen)
+
+let test_pfabric_same_flow_in_order () =
+  let q = Queue_disc.pfabric () in
+  (* Later packets of a flow carry smaller remaining size; dequeue must
+     still deliver the earliest packet of that flow first. *)
+  ignore (q.Queue_disc.enqueue (mk ~flow:0 ~seq:0 ~prio:9000. ()));
+  ignore (q.Queue_disc.enqueue (mk ~flow:0 ~seq:1 ~prio:7500. ()));
+  ignore (q.Queue_disc.enqueue (mk ~flow:0 ~seq:2 ~prio:6000. ()));
+  match q.Queue_disc.dequeue () with
+  | Some p -> Alcotest.(check int) "earliest of the flow" 0 p.Packet.seq
+  | None -> Alcotest.fail "empty"
+
+(* ------------------------------------------------------------------ *)
+(* Price engines *)
+
+let test_xwi_engine_stamps () =
+  let e = Price_engine.xwi ~capacity:1e10 () in
+  (* Push the price up via a positive residual at full utilization. *)
+  let fill () =
+    (* one update interval worth of bytes: 30us * 10G / 8 = 37500 B *)
+    for _ = 1 to 25 do
+      let p = mk () in
+      p.Packet.normalized_residual <- 1e-10;
+      e.Price_engine.on_enqueue p;
+      e.Price_engine.on_dequeue p
+    done
+  in
+  fill ();
+  e.Price_engine.update ();
+  let price1 = e.Price_engine.value () in
+  Alcotest.(check bool) "price rose" true (price1 > 0.);
+  let p = mk () in
+  e.Price_engine.on_dequeue p;
+  Alcotest.(check (float 1e-30)) "price stamped" price1 p.Packet.path_price;
+  Alcotest.(check int) "path len incremented" 1 p.Packet.path_len;
+  (* With no traffic the price decays. *)
+  e.Price_engine.update ();
+  e.Price_engine.update ();
+  Alcotest.(check bool) "idle decay" true (e.Price_engine.value () < price1)
+
+let test_dgd_engine_overload () =
+  let queue = ref 0 in
+  let e =
+    Price_engine.dgd ~capacity:1e10 ~queue_bytes:(fun () -> !queue)
+      ~price_scale:1e-10 ()
+  in
+  (* Overload: more than 16us * 10G / 8 = 20000 bytes serviced. *)
+  for _ = 1 to 20 do
+    e.Price_engine.on_dequeue (mk ())
+  done;
+  queue := 10_000;
+  e.Price_engine.update ();
+  Alcotest.(check bool) "price rises under overload" true (e.Price_engine.value () > 0.)
+
+let test_rcp_engine () =
+  let queue = ref 0 in
+  let e =
+    Price_engine.rcp ~alpha:1. ~capacity:1e10 ~queue_bytes:(fun () -> !queue)
+      ~initial_fair_rate:5e9 ()
+  in
+  (* Idle: fair rate should grow. *)
+  e.Price_engine.update ();
+  Alcotest.(check bool) "fair rate grows when idle" true (e.Price_engine.value () > 5e9);
+  (* Heavy overload shrinks it. *)
+  let r = e.Price_engine.value () in
+  for _ = 1 to 40 do
+    e.Price_engine.on_dequeue (mk ())
+  done;
+  queue := 100_000;
+  e.Price_engine.update ();
+  Alcotest.(check bool) "fair rate shrinks under overload" true
+    (e.Price_engine.value () < r)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end networks *)
+
+let rate net id =
+  match Network.measured_rate net id with
+  | Some r -> r
+  | None -> Alcotest.failf "flow %d: no rate measured" id
+
+let test_numfabric_single_bottleneck () =
+  let sb = Builders.single_bottleneck ~n_senders:2 () in
+  let net = Network.create ~topology:sb.Builders.sb_topo ~protocol:Network.Numfabric () in
+  let u = Utility.proportional_fair () in
+  Array.iteri
+    (fun i s ->
+      Network.add_flow net
+        (Network.flow ~utility:u ~id:i ~src:s ~dst:sb.Builders.receiver ()))
+    sb.Builders.senders;
+  Network.run net ~until:3e-3;
+  check_rate "flow 0" ~frac:0.05 5e9 (rate net 0);
+  check_rate "flow 1" ~frac:0.05 5e9 (rate net 1);
+  Alcotest.(check int) "no drops" 0 (Network.total_drops net);
+  (* Small standing queue (a few packets), not a full buffer. *)
+  Alcotest.(check bool) "small queue" true
+    (Network.queue_bytes net ~link:sb.Builders.bottleneck < 30_000)
+
+let test_numfabric_weighted () =
+  let sb = Builders.single_bottleneck ~n_senders:2 () in
+  let net = Network.create ~topology:sb.Builders.sb_topo ~protocol:Network.Numfabric () in
+  Network.add_flow net
+    (Network.flow
+       ~utility:(Utility.proportional_fair ~weight:1. ())
+       ~id:0 ~src:sb.Builders.senders.(0) ~dst:sb.Builders.receiver ());
+  Network.add_flow net
+    (Network.flow
+       ~utility:(Utility.proportional_fair ~weight:3. ())
+       ~id:1 ~src:sb.Builders.senders.(1) ~dst:sb.Builders.receiver ());
+  Network.run net ~until:3e-3;
+  check_rate "weight 1" ~frac:0.05 2.5e9 (rate net 0);
+  check_rate "weight 3" ~frac:0.05 7.5e9 (rate net 1)
+
+let test_numfabric_parking_lot_optimum () =
+  (* Proportional fairness on a 2-link parking lot: the NUM optimum is
+     (C/3, 2C/3, 2C/3) — NOT max-min — so this checks that xWI's prices
+     actually steer Swift away from plain fair queueing. *)
+  let pl = Builders.parking_lot ~n_links:2 () in
+  let h = pl.Builders.pl_hosts in
+  let net = Network.create ~topology:pl.Builders.pl_topo ~protocol:Network.Numfabric () in
+  let u () = Utility.proportional_fair () in
+  Network.add_flow net (Network.flow ~utility:(u ()) ~id:0 ~src:h.(0) ~dst:h.(2) ());
+  Network.add_flow net (Network.flow ~utility:(u ()) ~id:1 ~src:h.(0) ~dst:h.(1) ());
+  Network.add_flow net (Network.flow ~utility:(u ()) ~id:2 ~src:h.(1) ~dst:h.(2) ());
+  Network.run net ~until:4e-3;
+  check_rate "long flow C/3" ~frac:0.05 3.333e9 (rate net 0);
+  check_rate "local 1" ~frac:0.05 6.667e9 (rate net 1);
+  check_rate "local 2" ~frac:0.05 6.667e9 (rate net 2)
+
+let test_numfabric_alpha2_packet () =
+  (* alpha = 2 on the parking lot: optimum (y/sqrt 2, y, y), y = C/(1+2^-.5).
+     Exercises the small-price regime (p* ~ 1e-20). *)
+  let pl = Builders.parking_lot ~n_links:2 () in
+  let h = pl.Builders.pl_hosts in
+  let net = Network.create ~topology:pl.Builders.pl_topo ~protocol:Network.Numfabric () in
+  let u () = Utility.alpha_fair ~alpha:2. () in
+  Network.add_flow net (Network.flow ~utility:(u ()) ~id:0 ~src:h.(0) ~dst:h.(2) ());
+  Network.add_flow net (Network.flow ~utility:(u ()) ~id:1 ~src:h.(0) ~dst:h.(1) ());
+  Network.add_flow net (Network.flow ~utility:(u ()) ~id:2 ~src:h.(1) ~dst:h.(2) ());
+  Network.run net ~until:4e-3;
+  let y = 1e10 /. (1. +. (1. /. sqrt 2.)) in
+  check_rate "long flow" ~frac:0.07 (y /. sqrt 2.) (rate net 0);
+  check_rate "local" ~frac:0.07 y (rate net 1)
+
+let test_flow_completion () =
+  let sb = Builders.single_bottleneck ~n_senders:1 () in
+  let net = Network.create ~topology:sb.Builders.sb_topo ~protocol:Network.Numfabric () in
+  Network.add_flow net
+    (Network.flow
+       ~utility:(Utility.proportional_fair ())
+       ~size:1.5e6 ~id:0 ~src:sb.Builders.senders.(0) ~dst:sb.Builders.receiver ());
+  Network.run net ~until:10e-3;
+  match Network.fct net 0 with
+  | None -> Alcotest.fail "flow did not complete"
+  | Some fct ->
+    (* 1.5 MB at 10 Gbps = 1.2 ms + slack for ramp-up and RTTs. *)
+    Alcotest.(check bool) "fct near line-rate time" true (fct >= 1.2e-3 && fct < 1.5e-3)
+
+let test_stop_flow_releases_bandwidth () =
+  let sb = Builders.single_bottleneck ~n_senders:2 () in
+  let net = Network.create ~topology:sb.Builders.sb_topo ~protocol:Network.Numfabric () in
+  let u () = Utility.proportional_fair () in
+  Network.add_flow net
+    (Network.flow ~utility:(u ()) ~id:0 ~src:sb.Builders.senders.(0)
+       ~dst:sb.Builders.receiver ());
+  Network.add_flow net
+    (Network.flow ~utility:(u ()) ~id:1 ~src:sb.Builders.senders.(1)
+       ~dst:sb.Builders.receiver ());
+  Network.stop_flow_at net ~id:1 2e-3;
+  Network.run net ~until:5e-3;
+  check_rate "survivor takes the link" ~frac:0.05 1e10 (rate net 0)
+
+let test_dctcp_shares_link () =
+  let sb = Builders.single_bottleneck ~n_senders:2 () in
+  let net = Network.create ~topology:sb.Builders.sb_topo ~protocol:Network.Dctcp () in
+  Array.iteri
+    (fun i s ->
+      Network.add_flow net (Network.flow ~id:i ~src:s ~dst:sb.Builders.receiver ()))
+    sb.Builders.senders;
+  Network.run net ~until:5e-3;
+  let total = rate net 0 +. rate net 1 in
+  check_rate "full utilization" ~frac:0.12 1e10 total;
+  (* The marking threshold keeps the queue around K, far below the buffer. *)
+  Alcotest.(check bool) "bounded queue" true
+    (Network.queue_bytes net ~link:sb.Builders.bottleneck < 120_000)
+
+let test_rcp_fair_share () =
+  let sb = Builders.single_bottleneck ~n_senders:2 () in
+  let net =
+    Network.create ~topology:sb.Builders.sb_topo ~protocol:(Network.Rcp { alpha = 1. }) ()
+  in
+  Array.iteri
+    (fun i s ->
+      Network.add_flow net (Network.flow ~id:i ~src:s ~dst:sb.Builders.receiver ()))
+    sb.Builders.senders;
+  Network.run net ~until:5e-3;
+  check_rate "rcp flow 0" ~frac:0.15 5e9 (rate net 0);
+  check_rate "rcp flow 1" ~frac:0.15 5e9 (rate net 1)
+
+let test_dgd_converges_roughly () =
+  let sb = Builders.single_bottleneck ~n_senders:2 () in
+  let config = { Nf_sim.Config.default with Nf_sim.Config.dgd_price_scale = 2e-10 } in
+  let net = Network.create ~config ~topology:sb.Builders.sb_topo ~protocol:Network.Dgd () in
+  let u () = Utility.proportional_fair () in
+  Array.iteri
+    (fun i s ->
+      Network.add_flow net
+        (Network.flow ~utility:(u ()) ~id:i ~src:s ~dst:sb.Builders.receiver ()))
+    sb.Builders.senders;
+  Network.run net ~until:8e-3;
+  check_rate "dgd flow 0" ~frac:0.2 5e9 (rate net 0);
+  check_rate "dgd flow 1" ~frac:0.2 5e9 (rate net 1)
+
+let test_pfabric_preemption () =
+  let sb = Builders.single_bottleneck ~n_senders:2 () in
+  let net = Network.create ~topology:sb.Builders.sb_topo ~protocol:Network.Pfabric () in
+  Network.add_flow net
+    (Network.flow ~size:3e6 ~id:0 ~src:sb.Builders.senders.(0)
+       ~dst:sb.Builders.receiver ());
+  Network.add_flow net
+    (Network.flow ~size:30e3 ~start:0.5e-3 ~id:1 ~src:sb.Builders.senders.(1)
+       ~dst:sb.Builders.receiver ());
+  Network.run net ~until:20e-3;
+  match (Network.fct net 1, Network.fct net 0) with
+  | Some small, Some big ->
+    (* The small flow preempts: near its solo time, far below fair-share
+       time (which would be >= 48 us at 5 Gbps). *)
+    Alcotest.(check bool) "small flow preempts" true (small < 45e-6);
+    Alcotest.(check bool) "big flow still finishes" true (big < 3.5e-3)
+  | _ -> Alcotest.fail "flows did not complete"
+
+let test_conservation_and_paths () =
+  let ls = Builders.leaf_spine ~n_leaves:2 ~n_spines:2 ~servers_per_leaf:2 () in
+  let net = Network.create ~topology:ls.Builders.topo ~protocol:Network.Numfabric () in
+  let s = ls.Builders.servers in
+  Network.add_flow net
+    (Network.flow ~utility:(Utility.proportional_fair ()) ~id:0 ~src:s.(0) ~dst:s.(3) ());
+  Network.run net ~until:2e-3;
+  let path = Network.flow_path net 0 in
+  Alcotest.(check bool) "cross-leaf path has 4 hops" true (Array.length path = 4);
+  Alcotest.(check bool) "baseline rtt positive" true (Network.baseline_rtt net 0 > 0.);
+  Alcotest.(check bool) "bytes delivered" true (Network.received_bytes net 0 > 1e5);
+  Alcotest.(check int) "no drops" 0 (Network.total_drops net)
+
+let test_add_flow_validation () =
+  let sb = Builders.single_bottleneck ~n_senders:1 () in
+  let net = Network.create ~topology:sb.Builders.sb_topo ~protocol:Network.Numfabric () in
+  Alcotest.check_raises "missing utility"
+    (Invalid_argument "Network.add_flow: NUMFabric flow needs a utility")
+    (fun () ->
+      Network.add_flow net
+        (Network.flow ~id:0 ~src:sb.Builders.senders.(0) ~dst:sb.Builders.receiver ()));
+  Network.add_flow net
+    (Network.flow
+       ~utility:(Utility.proportional_fair ())
+       ~id:1 ~src:sb.Builders.senders.(0) ~dst:sb.Builders.receiver ());
+  Alcotest.check_raises "duplicate id"
+    (Invalid_argument "Network.add_flow: duplicate flow id") (fun () ->
+      Network.add_flow net
+        (Network.flow
+           ~utility:(Utility.proportional_fair ())
+           ~id:1 ~src:sb.Builders.senders.(0) ~dst:sb.Builders.receiver ()))
+
+let test_numfabric_srpt_preempts () =
+  (* Remaining-size weights approximate SRPT: a small flow arriving behind
+     a big one finishes near its solo time. *)
+  let sb = Builders.single_bottleneck ~n_senders:2 () in
+  let net =
+    Network.create ~topology:sb.Builders.sb_topo
+      ~protocol:(Network.Numfabric_srpt { eps = 0.125 }) ()
+  in
+  Network.add_flow net
+    (Network.flow ~size:3e6 ~id:0 ~src:sb.Builders.senders.(0)
+       ~dst:sb.Builders.receiver ());
+  Network.add_flow net
+    (Network.flow ~size:60e3 ~start:0.5e-3 ~id:1 ~src:sb.Builders.senders.(1)
+       ~dst:sb.Builders.receiver ());
+  Network.run net ~until:20e-3;
+  (match (Network.fct net 1, Network.fct net 0) with
+  | Some small, Some big ->
+    (* Solo time for 60 KB is ~48 us + ramp-up; fair sharing would take
+       ~96 us+. SRPT weights should land well below fair sharing. *)
+    Alcotest.(check bool) "small flow strongly prioritized" true (small < 180e-6);
+    Alcotest.(check bool) "big flow completes" true (big < 4e-3)
+  | _ -> Alcotest.fail "flows did not complete");
+  (* Persistent flows cannot use remaining-size weights. *)
+  let net2 =
+    Network.create ~topology:sb.Builders.sb_topo
+      ~protocol:(Network.Numfabric_srpt { eps = 0.125 }) ()
+  in
+  Alcotest.check_raises "persistent flow rejected"
+    (Invalid_argument "Host.make_sender: SRPT weights need a finite flow size")
+    (fun () ->
+      Network.add_flow net2
+        (Network.flow ~id:9 ~src:sb.Builders.senders.(0) ~dst:sb.Builders.receiver ()))
+
+let test_link_monitoring () =
+  let sb = Builders.single_bottleneck ~n_senders:2 () in
+  let net = Network.create ~topology:sb.Builders.sb_topo ~protocol:Network.Numfabric () in
+  let u = Utility.proportional_fair () in
+  Array.iteri
+    (fun i s ->
+      Network.add_flow net
+        (Network.flow ~utility:u ~id:i ~src:s ~dst:sb.Builders.receiver ()))
+    sb.Builders.senders;
+  Network.monitor_links net ~links:[ sb.Builders.bottleneck ] ~every:50e-6;
+  Network.run net ~until:2e-3;
+  (match Network.queue_series net ~link:sb.Builders.bottleneck with
+  | Some ts -> Alcotest.(check bool) "queue samples" true (Nf_util.Timeseries.length ts > 30)
+  | None -> Alcotest.fail "no queue series");
+  match Network.price_series net ~link:sb.Builders.bottleneck with
+  | Some ts -> (
+    match Nf_util.Timeseries.last ts with
+    | Some (_, p) -> Alcotest.(check bool) "price converged positive" true (p > 0.)
+    | None -> Alcotest.fail "empty price series")
+  | None -> Alcotest.fail "no price series"
+
+let test_weight_quantization_still_shares () =
+  (* Coarse weight classes distort the allocation but keep it feasible and
+     roughly proportional: a 1:4 weight split quantized to powers of 2
+     must still favour the heavy flow. *)
+  let sb = Builders.single_bottleneck ~n_senders:2 () in
+  let config =
+    { Nf_sim.Config.default with Nf_sim.Config.weight_quant_base = Some 2. }
+  in
+  let net = Network.create ~config ~topology:sb.Builders.sb_topo ~protocol:Network.Numfabric () in
+  Network.add_flow net
+    (Network.flow
+       ~utility:(Utility.proportional_fair ~weight:1. ())
+       ~id:0 ~src:sb.Builders.senders.(0) ~dst:sb.Builders.receiver ());
+  Network.add_flow net
+    (Network.flow
+       ~utility:(Utility.proportional_fair ~weight:4. ())
+       ~id:1 ~src:sb.Builders.senders.(1) ~dst:sb.Builders.receiver ());
+  Network.run net ~until:4e-3;
+  let r0 = rate net 0 and r1 = rate net 1 in
+  Alcotest.(check bool) "heavy flow favoured" true (r1 > 2. *. r0);
+  check_rate "full utilization" ~frac:0.1 1e10 (r0 +. r1);
+  Alcotest.(check int) "no drops" 0 (Network.total_drops net)
+
+let test_numfabric_on_fat_tree () =
+  (* End-to-end generality check on the other canonical DC topology: two
+     flows to the same destination share its edge downlink equally. *)
+  let ft = Builders.fat_tree ~k:4 () in
+  let s = ft.Builders.ft_servers in
+  let net = Network.create ~topology:ft.Builders.ft_topo ~protocol:Network.Numfabric () in
+  let u = Utility.proportional_fair () in
+  (* s.(0) is in pod 0; s.(8) in pod 2; both send to s.(15) in pod 3. *)
+  Network.add_flow net (Network.flow ~utility:u ~id:0 ~src:s.(0) ~dst:s.(15) ());
+  Network.add_flow net (Network.flow ~utility:u ~id:1 ~src:s.(8) ~dst:s.(15) ());
+  Network.run net ~until:4e-3;
+  check_rate "flow 0 half" ~frac:0.06 5e9 (rate net 0);
+  check_rate "flow 1 half" ~frac:0.06 5e9 (rate net 1);
+  Alcotest.(check int) "no drops" 0 (Network.total_drops net)
+
+let test_rate_series_recording () =
+  let sb = Builders.single_bottleneck ~n_senders:1 () in
+  let config = { Nf_sim.Config.default with Nf_sim.Config.record_rates = true } in
+  let net = Network.create ~config ~topology:sb.Builders.sb_topo ~protocol:Network.Numfabric () in
+  Network.add_flow net
+    (Network.flow
+       ~utility:(Utility.proportional_fair ())
+       ~id:0 ~src:sb.Builders.senders.(0) ~dst:sb.Builders.receiver ());
+  Network.run net ~until:1e-3;
+  match Network.rate_series net 0 with
+  | Some ts ->
+    Alcotest.(check bool) "series recorded" true (Nf_util.Timeseries.length ts > 100)
+  | None -> Alcotest.fail "no series despite record_rates"
+
+let () =
+  Alcotest.run "nf_sim"
+    [
+      ( "queue_disc",
+        [
+          quick "fifo order and tail drop" test_fifo_order_and_drop;
+          quick "ecn marking threshold" test_ecn_marking;
+          quick "stfq weighted service" test_stfq_weighted_service;
+          quick "stfq control packets jump" test_stfq_control_packets_jump;
+          quick "stfq per-flow order" test_stfq_per_flow_order;
+          quick "pfabric priority and eviction" test_pfabric_priority;
+          quick "pfabric same-flow order" test_pfabric_same_flow_in_order;
+        ] );
+      ( "price_engine",
+        [
+          quick "xwi stamps and decays" test_xwi_engine_stamps;
+          quick "dgd overload raises price" test_dgd_engine_overload;
+          quick "rcp fair rate dynamics" test_rcp_engine;
+        ] );
+      ( "network",
+        [
+          quick "numfabric equal share" test_numfabric_single_bottleneck;
+          quick "numfabric weighted share" test_numfabric_weighted;
+          quick "numfabric parking-lot optimum" test_numfabric_parking_lot_optimum;
+          quick "numfabric alpha=2" test_numfabric_alpha2_packet;
+          quick "finite flow completes" test_flow_completion;
+          quick "stop releases bandwidth" test_stop_flow_releases_bandwidth;
+          quick "dctcp shares the link" test_dctcp_shares_link;
+          quick "rcp fair share" test_rcp_fair_share;
+          quick "dgd converges roughly" test_dgd_converges_roughly;
+          quick "pfabric preemption" test_pfabric_preemption;
+          quick "conservation and paths" test_conservation_and_paths;
+          quick "add_flow validation" test_add_flow_validation;
+          quick "numfabric on a fat tree" test_numfabric_on_fat_tree;
+          quick "rate series recording" test_rate_series_recording;
+          quick "srpt weights preempt" test_numfabric_srpt_preempts;
+          quick "link monitoring" test_link_monitoring;
+          quick "weight quantization" test_weight_quantization_still_shares;
+        ] );
+    ]

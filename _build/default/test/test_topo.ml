@@ -1,0 +1,268 @@
+(* Tests for nf_topo: graph construction, routing, canonical builders. *)
+
+module Topology = Nf_topo.Topology
+module Routing = Nf_topo.Routing
+module Builders = Nf_topo.Builders
+module Units = Nf_util.Units
+module Rng = Nf_util.Rng
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Builder / Topology *)
+
+let line_topology () =
+  (* h0 -> sw -> h1, duplex *)
+  let b = Topology.Builder.create () in
+  let h0 = Topology.Builder.add_host b ~label:"h0" () in
+  let sw = Topology.Builder.add_switch b ~label:"sw" () in
+  let h1 = Topology.Builder.add_host b ~label:"h1" () in
+  let l0, l0' = Topology.Builder.add_duplex b h0 sw ~capacity:(Units.gbps 10.) ~delay:1e-6 in
+  let l1, l1' = Topology.Builder.add_duplex b sw h1 ~capacity:(Units.gbps 10.) ~delay:1e-6 in
+  (Topology.Builder.finish b, h0, sw, h1, l0, l0', l1, l1')
+
+let test_builder_basic () =
+  let topo, h0, sw, h1, l0, _, l1, _ = line_topology () in
+  Alcotest.(check int) "nodes" 3 (Topology.n_nodes topo);
+  Alcotest.(check int) "links" 4 (Topology.n_links topo);
+  Alcotest.(check int) "hosts" 2 (Array.length (Topology.hosts topo));
+  Alcotest.(check int) "switches" 1 (Array.length (Topology.switches topo));
+  Alcotest.(check bool) "kind" true ((Topology.node topo sw).Topology.kind = Topology.Switch);
+  Alcotest.(check (option int)) "find_link" (Some l0)
+    (Topology.find_link topo ~src:h0 ~dst:sw);
+  Alcotest.(check bool) "path valid" true
+    (Topology.path_is_valid topo ~src:h0 ~dst:h1 [ l0; l1 ]);
+  Alcotest.(check bool) "path invalid" false
+    (Topology.path_is_valid topo ~src:h0 ~dst:h1 [ l1; l0 ]);
+  Alcotest.(check (float 1e-12)) "path delay" 2e-6
+    (Topology.path_delay topo [ l0; l1 ]);
+  Alcotest.(check (float 1.)) "path min capacity" (Units.gbps 10.)
+    (Topology.path_min_capacity topo [ l0; l1 ])
+
+let test_builder_validation () =
+  let b = Topology.Builder.create () in
+  let h = Topology.Builder.add_host b () in
+  Alcotest.check_raises "self loop"
+    (Invalid_argument "Topology.Builder.add_link: self loop") (fun () ->
+      ignore (Topology.Builder.add_link b ~src:h ~dst:h ~capacity:1. ~delay:0.));
+  Alcotest.check_raises "unknown node"
+    (Invalid_argument "Topology.Builder.add_link: unknown node") (fun () ->
+      ignore (Topology.Builder.add_link b ~src:h ~dst:99 ~capacity:1. ~delay:0.));
+  Alcotest.check_raises "bad capacity"
+    (Invalid_argument "Topology.Builder.add_link: capacity must be positive")
+    (fun () ->
+      let h2 = Topology.Builder.add_host b () in
+      ignore (Topology.Builder.add_link b ~src:h ~dst:h2 ~capacity:0. ~delay:0.))
+
+(* ------------------------------------------------------------------ *)
+(* Routing *)
+
+let test_shortest_path_line () =
+  let topo, h0, _, h1, l0, _, l1, _ = line_topology () in
+  (match Routing.shortest_path topo ~src:h0 ~dst:h1 with
+  | Some p -> Alcotest.(check (list int)) "path" [ l0; l1 ] p
+  | None -> Alcotest.fail "expected a path");
+  Alcotest.(check (option int)) "hops" (Some 2) (Routing.hop_count topo ~src:h0 ~dst:h1);
+  Alcotest.(check (option (list int))) "self path" (Some [])
+    (Routing.shortest_path topo ~src:h0 ~dst:h0)
+
+let test_unreachable () =
+  let b = Topology.Builder.create () in
+  let a = Topology.Builder.add_host b () in
+  let c = Topology.Builder.add_host b () in
+  ignore (Topology.Builder.add_link b ~src:a ~dst:c ~capacity:1. ~delay:0.);
+  let topo = Topology.Builder.finish b in
+  Alcotest.(check (option (list int))) "one way only" None
+    (Routing.shortest_path topo ~src:c ~dst:a);
+  Alcotest.(check (list (list int))) "no paths" []
+    (Routing.all_shortest_paths topo ~src:c ~dst:a)
+
+let test_leaf_spine_paths () =
+  let ls = Builders.leaf_spine ~n_leaves:4 ~n_spines:3 ~servers_per_leaf:2 () in
+  let topo = ls.Builders.topo in
+  Alcotest.(check int) "servers" 8 (Array.length ls.Builders.servers);
+  (* Same-leaf pair: unique 2-hop path. *)
+  let s0 = ls.Builders.servers.(0) and s1 = ls.Builders.servers.(1) in
+  Alcotest.(check int) "same leaf: 1 path" 1
+    (List.length (Routing.all_shortest_paths topo ~src:s0 ~dst:s1));
+  (* Cross-leaf pair: one path per spine. *)
+  let s2 = ls.Builders.servers.(2) in
+  let paths = Routing.all_shortest_paths topo ~src:s0 ~dst:s2 in
+  Alcotest.(check int) "cross leaf: n_spines paths" 3 (List.length paths);
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "4 hops" 4 (List.length p);
+      Alcotest.(check bool) "valid" true
+        (Topology.path_is_valid topo ~src:s0 ~dst:s2 p))
+    paths
+
+let test_ecmp_selection () =
+  let ls = Builders.leaf_spine ~n_leaves:2 ~n_spines:4 ~servers_per_leaf:1 () in
+  let topo = ls.Builders.topo in
+  let s0 = ls.Builders.servers.(0) and s1 = ls.Builders.servers.(1) in
+  let seen = Hashtbl.create 4 in
+  for hash = 0 to 7 do
+    let p = Routing.ecmp_path topo ~src:s0 ~dst:s1 ~hash in
+    Hashtbl.replace seen p ()
+  done;
+  Alcotest.(check int) "hashes cover all 4 paths" 4 (Hashtbl.length seen);
+  (* Negative hashes are fine too. *)
+  let p = Routing.ecmp_path topo ~src:s0 ~dst:s1 ~hash:(-3) in
+  Alcotest.(check bool) "negative hash valid" true
+    (Topology.path_is_valid topo ~src:s0 ~dst:s1 p)
+
+let test_paper_leaf_spine () =
+  let ls = Builders.paper_leaf_spine () in
+  Alcotest.(check int) "128 servers" 128 (Array.length ls.Builders.servers);
+  Alcotest.(check int) "8 leaves" 8 (Array.length ls.Builders.leaves);
+  Alcotest.(check int) "4 spines" 4 (Array.length ls.Builders.spines);
+  (* Full bisection: leaf uplink capacity = leaf downlink capacity. *)
+  let topo = ls.Builders.topo in
+  let leaf = ls.Builders.leaves.(0) in
+  let up, down =
+    List.fold_left
+      (fun (up, down) lid ->
+        let l = Topology.link topo lid in
+        match (Topology.node topo l.Topology.dst).Topology.kind with
+        | Topology.Switch -> (up +. l.Topology.capacity, down)
+        | Topology.Host -> (up, down +. l.Topology.capacity))
+      (0., 0.)
+      (Topology.out_links topo leaf)
+  in
+  Alcotest.(check (float 1.)) "full bisection" up down
+
+let test_single_bottleneck () =
+  let sb = Builders.single_bottleneck ~n_senders:3 () in
+  let topo = sb.Builders.sb_topo in
+  Array.iter
+    (fun s ->
+      match Routing.shortest_path topo ~src:s ~dst:sb.Builders.receiver with
+      | Some p ->
+        Alcotest.(check bool) "sender path crosses bottleneck" true
+          (List.mem sb.Builders.bottleneck p)
+      | None -> Alcotest.fail "no path")
+    sb.Builders.senders
+
+let test_parking_lot () =
+  let pl = Builders.parking_lot ~n_links:3 () in
+  let topo = pl.Builders.pl_topo in
+  let h0 = pl.Builders.pl_hosts.(0) and h3 = pl.Builders.pl_hosts.(3) in
+  match Routing.shortest_path topo ~src:h0 ~dst:h3 with
+  | Some p ->
+    (* access + 3 chain links + access = 5 hops *)
+    Alcotest.(check int) "long flow hops" 5 (List.length p);
+    Array.iter
+      (fun lid -> Alcotest.(check bool) "chain link on path" true (List.mem lid p))
+      pl.Builders.pl_links
+  | None -> Alcotest.fail "no path"
+
+let test_three_link_pooling () =
+  let tl = Builders.three_link_pooling ~middle_capacity:(Units.gbps 17.) () in
+  let topo = tl.Builders.tl_topo in
+  Alcotest.(check (float 1.)) "middle capacity" (Units.gbps 17.)
+    (Topology.link topo tl.Builders.middle).Topology.capacity;
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "flow1 path valid" true
+        (Topology.path_is_valid topo ~src:tl.Builders.src1 ~dst:tl.Builders.sink p))
+    tl.Builders.tl_paths1;
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "flow2 path valid" true
+        (Topology.path_is_valid topo ~src:tl.Builders.src2 ~dst:tl.Builders.sink p))
+    tl.Builders.tl_paths2
+
+let prop_random_leaf_spine_routes =
+  QCheck.Test.make ~name:"shortest paths are valid on random leaf-spines" ~count:50
+    QCheck.(triple (1 -- 4) (1 -- 4) (1 -- 4))
+    (fun (n_leaves, n_spines, per_leaf) ->
+      let ls = Builders.leaf_spine ~n_leaves ~n_spines ~servers_per_leaf:per_leaf () in
+      let topo = ls.Builders.topo in
+      let servers = ls.Builders.servers in
+      let rng = Rng.create ~seed:(n_leaves + (7 * n_spines) + (31 * per_leaf)) in
+      let ok = ref true in
+      for _ = 1 to 10 do
+        let s = Rng.pick rng servers and d = Rng.pick rng servers in
+        if s <> d then begin
+          match Routing.shortest_path topo ~src:s ~dst:d with
+          | None -> ok := false
+          | Some p -> if not (Topology.path_is_valid topo ~src:s ~dst:d p) then ok := false
+        end
+      done;
+      !ok)
+
+let test_fat_tree () =
+  let ft = Builders.fat_tree ~k:4 () in
+  let topo = ft.Builders.ft_topo in
+  Alcotest.(check int) "k^3/4 servers" 16 (Array.length ft.Builders.ft_servers);
+  Alcotest.(check int) "k*k/2 edges" 8 (Array.length ft.Builders.ft_edges);
+  Alcotest.(check int) "k*k/2 aggs" 8 (Array.length ft.Builders.ft_aggs);
+  Alcotest.(check int) "(k/2)^2 cores" 4 (Array.length ft.Builders.ft_cores);
+  (* Same-pod different-edge pair: 4 hops, k/2 ECMP paths. *)
+  let s0 = ft.Builders.ft_servers.(0) and s2 = ft.Builders.ft_servers.(2) in
+  Alcotest.(check (option int)) "intra-pod hops" (Some 4)
+    (Routing.hop_count topo ~src:s0 ~dst:s2);
+  Alcotest.(check int) "intra-pod ECMP" 2
+    (List.length (Routing.all_shortest_paths topo ~src:s0 ~dst:s2));
+  (* Cross-pod pair: 6 hops, (k/2)^2 ECMP paths. *)
+  let s8 = ft.Builders.ft_servers.(8) in
+  Alcotest.(check (option int)) "cross-pod hops" (Some 6)
+    (Routing.hop_count topo ~src:s0 ~dst:s8);
+  let paths = Routing.all_shortest_paths topo ~src:s0 ~dst:s8 in
+  Alcotest.(check int) "cross-pod ECMP" 4 (List.length paths);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "valid" true
+        (Topology.path_is_valid topo ~src:s0 ~dst:s8 p))
+    paths;
+  Alcotest.check_raises "odd k rejected"
+    (Invalid_argument "Builders.fat_tree: k must be even and >= 2") (fun () ->
+      ignore (Builders.fat_tree ~k:3 ()))
+
+let prop_hop_count_matches_path_length =
+  QCheck.Test.make ~name:"hop_count equals shortest path length" ~count:50
+    QCheck.(triple (2 -- 4) (1 -- 4) (1 -- 3))
+    (fun (n_leaves, n_spines, per_leaf) ->
+      let ls = Builders.leaf_spine ~n_leaves ~n_spines ~servers_per_leaf:per_leaf () in
+      let topo = ls.Builders.topo in
+      let servers = ls.Builders.servers in
+      let rng = Rng.create ~seed:(n_leaves + (13 * n_spines)) in
+      let ok = ref true in
+      for _ = 1 to 8 do
+        let s = Rng.pick rng servers and d = Rng.pick rng servers in
+        if s <> d then begin
+          match (Routing.hop_count topo ~src:s ~dst:d, Routing.shortest_path topo ~src:s ~dst:d) with
+          | Some h, Some p -> if h <> List.length p then ok := false
+          | _, _ -> ok := false
+        end
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "nf_topo"
+    [
+      ( "topology",
+        [
+          quick "builder basics" test_builder_basic;
+          quick "builder validation" test_builder_validation;
+        ] );
+      ( "routing",
+        [
+          quick "line shortest path" test_shortest_path_line;
+          quick "unreachable" test_unreachable;
+          quick "leaf-spine path enumeration" test_leaf_spine_paths;
+          quick "ecmp selection" test_ecmp_selection;
+          qcheck prop_random_leaf_spine_routes;
+          qcheck prop_hop_count_matches_path_length;
+        ] );
+      ( "builders",
+        [
+          quick "paper leaf-spine" test_paper_leaf_spine;
+          quick "single bottleneck" test_single_bottleneck;
+          quick "parking lot" test_parking_lot;
+          quick "three-link pooling" test_three_link_pooling;
+          quick "fat tree" test_fat_tree;
+        ] );
+    ]

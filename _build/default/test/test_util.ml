@@ -1,0 +1,534 @@
+(* Tests for nf_util: heap, EWMA, RNG, stats, piecewise functions,
+   time series. *)
+
+module Heap = Nf_util.Heap
+module Ewma = Nf_util.Ewma
+module Rng = Nf_util.Rng
+module Stats = Nf_util.Stats
+module Piecewise = Nf_util.Piecewise
+module Timeseries = Nf_util.Timeseries
+module Fcmp = Nf_util.Fcmp
+module Units = Nf_util.Units
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let check_close ?(eps = 1e-9) what expected actual =
+  if not (Fcmp.rel_eq ~rel:eps expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" what expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let test_heap_basic () =
+  let h = Heap.create ~cmp:compare in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Heap.push h 5;
+  Heap.push h 1;
+  Heap.push h 3;
+  Alcotest.(check int) "length" 3 (Heap.length h);
+  Alcotest.(check (option int)) "peek" (Some 1) (Heap.peek h);
+  Alcotest.(check (option int)) "pop1" (Some 1) (Heap.pop h);
+  Alcotest.(check (option int)) "pop2" (Some 3) (Heap.pop h);
+  Alcotest.(check (option int)) "pop3" (Some 5) (Heap.pop h);
+  Alcotest.(check (option int)) "pop empty" None (Heap.pop h)
+
+let test_heap_pop_exn_empty () =
+  let h = Heap.create ~cmp:compare in
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Heap.pop_exn: empty heap")
+    (fun () -> ignore (Heap.pop_exn h : int))
+
+let test_heap_clear () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 3; 1; 2 ];
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h);
+  Heap.push h 42;
+  Alcotest.(check (option int)) "usable after clear" (Some 42) (Heap.pop h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap sorts like List.sort" ~count:300
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) xs;
+      Heap.to_sorted_list h = List.sort compare xs)
+
+let prop_heap_interleaved =
+  QCheck.Test.make ~name:"heap pop is monotone under interleaving" ~count:200
+    QCheck.(list (pair bool small_int))
+    (fun ops ->
+      let h = Heap.create ~cmp:compare in
+      let popped = ref [] in
+      List.iter
+        (fun (is_push, v) ->
+          if is_push then Heap.push h v
+          else match Heap.pop h with
+            | Some x -> popped := x :: !popped
+            | None -> ())
+        ops;
+      (* Drain the rest; within any run after pushes stop, pops are sorted. *)
+      let rec drain () =
+        match Heap.pop h with
+        | Some x ->
+          popped := x :: !popped;
+          drain ()
+        | None -> ()
+      in
+      let before_drain = List.length !popped in
+      drain ();
+      let drained = List.filteri (fun i _ -> i < List.length !popped - before_drain)
+          (List.rev !popped) in
+      ignore drained;
+      (* The final drain must come out sorted. *)
+      let tail =
+        List.filteri (fun i _ -> i >= before_drain) (List.rev !popped)
+      in
+      tail = List.sort compare tail)
+
+(* ------------------------------------------------------------------ *)
+(* EWMA *)
+
+let test_ewma_gain () =
+  let f = Ewma.gain ~g:0.5 in
+  Alcotest.(check (option (float 0.))) "unset" None (Ewma.gain_value f);
+  Ewma.gain_update f 10.;
+  check_float "first sample initializes" 10. (Ewma.gain_value_exn f);
+  Ewma.gain_update f 20.;
+  check_float "blend" 15. (Ewma.gain_value_exn f)
+
+let test_ewma_timed_convergence () =
+  let f = Ewma.timed ~tau:1. in
+  Ewma.timed_update f ~now:0. 0.;
+  (* Step input of 1.0; after 5 tau the filter should be within 1%. *)
+  for i = 1 to 500 do
+    Ewma.timed_update f ~now:(float_of_int i *. 0.01) 1.
+  done;
+  let v = Ewma.timed_value_exn f in
+  Alcotest.(check bool) "converged to step" true (v > 0.98 && v <= 1.0)
+
+let test_ewma_timed_out_of_order () =
+  let f = Ewma.timed ~tau:1. in
+  Ewma.timed_update f ~now:10. 5.;
+  Ewma.timed_update f ~now:3. 100.;
+  (* dt clamped to 0 -> weight 0 -> unchanged *)
+  check_float "out of order ignored" 5. (Ewma.timed_value_exn f)
+
+let test_ewma_rise_time () =
+  check_close "rise time formula" (log 10. *. 80e-6) (Ewma.rise_time_90 ~tau:80e-6);
+  (* Simulate the step response directly: with tau = 80us the output should
+     cross 90% at ~184us. *)
+  let f = Ewma.timed ~tau:80e-6 in
+  Ewma.timed_update f ~now:0. 0.;
+  let crossed = ref None in
+  let dt = 1e-7 in
+  let t = ref 0. in
+  while !crossed = None && !t < 1e-3 do
+    t := !t +. dt;
+    Ewma.timed_update f ~now:!t 1.;
+    if Ewma.timed_value_exn f >= 0.9 then crossed := Some !t
+  done;
+  match !crossed with
+  | None -> Alcotest.fail "never crossed 90%"
+  | Some t ->
+    Alcotest.(check bool) "crossing near ln(10)*tau" true
+      (Float.abs (t -. Ewma.rise_time_90 ~tau:80e-6) < 5e-6)
+
+let test_ewma_reset () =
+  let f = Ewma.timed ~tau:1. in
+  Ewma.timed_update f ~now:0. 7.;
+  Ewma.timed_reset f;
+  Alcotest.(check (option (float 0.))) "reset" None (Ewma.timed_value f)
+
+(* ------------------------------------------------------------------ *)
+(* RNG *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  Alcotest.(check bool) "different streams" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_float_range () =
+  let r = Rng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let x = Rng.float r 3. in
+    if x < 0. || x >= 3. then Alcotest.failf "float out of range: %g" x
+  done
+
+let test_rng_int_range () =
+  let r = Rng.create ~seed:7 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let i = Rng.int r 10 in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if c < 700 || c > 1300 then Alcotest.failf "bucket %d skewed: %d" i c)
+    counts
+
+let test_rng_exponential_mean () =
+  let r = Rng.create ~seed:9 in
+  let n = 50_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Rng.exponential r ~mean:2.
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean near 2" true (Float.abs (mean -. 2.) < 0.05)
+
+let test_rng_split_independent () =
+  let r = Rng.create ~seed:3 in
+  let a = Rng.split r in
+  let b = Rng.split r in
+  Alcotest.(check bool) "split streams differ" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_permutation () =
+  let r = Rng.create ~seed:11 in
+  let p = Rng.permutation r 100 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "is a permutation" true
+    (Array.to_list sorted = List.init 100 (fun i -> i))
+
+let test_rng_derangement () =
+  let r = Rng.create ~seed:13 in
+  for _ = 1 to 50 do
+    let p = Rng.derangement_pairing r 8 in
+    Array.iteri
+      (fun i v -> if i = v then Alcotest.fail "fixed point in derangement")
+      p
+  done
+
+let prop_rng_copy_replays =
+  QCheck.Test.make ~name:"rng copy replays the stream" ~count:50
+    QCheck.small_int
+    (fun seed ->
+      let r = Rng.create ~seed in
+      ignore (Rng.bits64 r);
+      let c = Rng.copy r in
+      Rng.bits64 r = Rng.bits64 c)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_percentile () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  check_float "median" 3. (Stats.median xs);
+  check_float "p0" 1. (Stats.percentile xs 0.);
+  check_float "p100" 5. (Stats.percentile xs 100.);
+  check_float "p25" 2. (Stats.percentile xs 25.)
+
+let test_stats_mean_stddev () =
+  let xs = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  check_float "mean" 5. (Stats.mean xs);
+  check_float "stddev" 2. (Stats.stddev xs)
+
+let test_stats_boxplot () =
+  let xs = Array.init 101 (fun i -> float_of_int i) in
+  let b = Stats.boxplot xs in
+  check_float "p25" 25. b.Stats.p25;
+  check_float "p50" 50. b.Stats.p50;
+  check_float "p75" 75. b.Stats.p75;
+  check_float "whisker lo" 0. b.Stats.whisker_lo;
+  check_float "whisker hi" 100. b.Stats.whisker_hi
+
+let test_stats_cdf () =
+  let xs = [| 1.; 1.; 2.; 3. |] in
+  let c = Stats.cdf xs in
+  Alcotest.(check int) "distinct points" 3 (List.length c);
+  check_float "P(X<=1)" 0.5 (Stats.cdf_at c 1.);
+  check_float "P(X<=2.5)" 0.75 (Stats.cdf_at c 2.5);
+  check_float "P(X<=0)" 0. (Stats.cdf_at c 0.);
+  check_float "P(X<=99)" 1. (Stats.cdf_at c 99.)
+
+let test_stats_jain () =
+  check_float "even allocation" 1. (Stats.jain_index [| 3.; 3.; 3. |]);
+  check_float "one hog" 0.25 (Stats.jain_index [| 1.; 0.; 0.; 0. |]);
+  check_float "all zero" 1. (Stats.jain_index [| 0.; 0. |]);
+  Alcotest.(check bool) "intermediate" true
+    (let j = Stats.jain_index [| 1.; 2.; 3. |] in
+     j > 0.85 && j < 0.86)
+
+let test_stats_online () =
+  let o = Stats.Online.create () in
+  List.iter (Stats.Online.add o) [ 1.; 2.; 3.; 4. ];
+  Alcotest.(check int) "count" 4 (Stats.Online.count o);
+  check_float "mean" 2.5 (Stats.Online.mean o);
+  check_float "min" 1. (Stats.Online.min o);
+  check_float "max" 4. (Stats.Online.max o);
+  check_float "variance" 1.25 (Stats.Online.variance o)
+
+let prop_stats_percentile_bounds =
+  QCheck.Test.make ~name:"percentile stays within sample range" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.))
+              (float_bound_inclusive 100.))
+    (fun (xs, p) ->
+      let arr = Array.of_list xs in
+      let v = Stats.percentile arr p in
+      let lo = Array.fold_left Float.min infinity arr in
+      let hi = Array.fold_left Float.max neg_infinity arr in
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
+let prop_online_matches_batch =
+  QCheck.Test.make ~name:"online mean matches batch mean" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 60) (float_bound_exclusive 100.))
+    (fun xs ->
+      let o = Stats.Online.create () in
+      List.iter (Stats.Online.add o) xs;
+      Fcmp.rel_eq ~rel:1e-9 (Stats.Online.mean o) (Stats.mean (Array.of_list xs)))
+
+(* ------------------------------------------------------------------ *)
+(* Piecewise *)
+
+let test_piecewise_eval () =
+  let f = Piecewise.of_points [ (0., 0.); (1., 2.); (3., 2.); (4., 6.) ] in
+  check_float "at breakpoint" 2. (Piecewise.eval f 1.);
+  check_float "interior" 1. (Piecewise.eval f 0.5);
+  check_float "flat region" 2. (Piecewise.eval f 2.);
+  check_float "last segment" 4. (Piecewise.eval f 3.5);
+  check_float "extension beyond" 10. (Piecewise.eval f 5.)
+
+let test_piecewise_inverse () =
+  let f = Piecewise.of_points [ (0., 0.); (2., 10.); (2.5, 15.) ] in
+  check_float "inverse interior" 1. (Piecewise.inverse f 5.);
+  check_float "inverse breakpoint" 2. (Piecewise.inverse f 10.);
+  check_float "inverse extension" 3. (Piecewise.inverse f 20.)
+
+let test_piecewise_invalid () =
+  Alcotest.check_raises "x not increasing"
+    (Invalid_argument "Piecewise.of_points: x must be strictly increasing")
+    (fun () -> ignore (Piecewise.of_points [ (0., 0.); (0., 1.) ]));
+  Alcotest.check_raises "y decreasing"
+    (Invalid_argument "Piecewise.of_points: y must be non-decreasing")
+    (fun () -> ignore (Piecewise.of_points [ (0., 1.); (1., 0.) ]))
+
+let test_piecewise_integral_constant () =
+  (* f(x) = 2 on [0, 4]: integral of 2^-1 over [0, 3] = 1.5 *)
+  let f = Piecewise.of_points [ (0., 2.); (4., 2.) ] in
+  check_close "constant alpha=1" 1.5 (Piecewise.integral_pow f ~alpha:1. 3.)
+
+let test_piecewise_integral_linear () =
+  (* f(x) = x on [0,10]; integral x^-0.5 dx over [1, 4] = 2(2 - 1) = 2 *)
+  let f = Piecewise.of_points [ (0., 0.); (10., 10.) ] in
+  check_close "linear alpha=0.5" 2.
+    (Piecewise.integral_pow_between f ~alpha:0.5 ~lo:1. ~hi:4.);
+  (* alpha = 1: integral 1/x over [1, e] = 1 *)
+  check_close "linear alpha=1" 1.
+    (Piecewise.integral_pow_between f ~alpha:1. ~lo:1. ~hi:(exp 1.))
+
+let prop_piecewise_inverse_roundtrip =
+  QCheck.Test.make ~name:"inverse roundtrips on increasing curves" ~count:200
+    QCheck.(pair (list_of_size Gen.(2 -- 8) (float_bound_exclusive 10.))
+              (float_bound_inclusive 1.))
+    (fun (deltas, frac) ->
+      (* Build a strictly increasing curve from positive deltas. *)
+      let deltas = List.map (fun d -> d +. 0.01) deltas in
+      let pts =
+        List.fold_left
+          (fun acc d ->
+            match acc with
+            | (x, y) :: _ -> (x +. d, y +. d) :: acc
+            | [] -> assert false)
+          [ (0., 0.) ] deltas
+      in
+      let f = Piecewise.of_points (List.rev pts) in
+      let x = frac *. Piecewise.max_x f in
+      let y = Piecewise.eval f x in
+      Fcmp.rel_eq ~rel:1e-6 (Piecewise.eval f (Piecewise.inverse f y)) y)
+
+let prop_piecewise_integral_matches_quadrature =
+  QCheck.Test.make ~name:"closed-form integral matches numeric quadrature"
+    ~count:100
+    QCheck.(pair (float_range 0.25 4.) small_int)
+    (fun (alpha, seed) ->
+      let rng = Rng.create ~seed in
+      (* random increasing positive curve *)
+      let pts = ref [ (0., Rng.uniform rng ~lo:0.5 ~hi:2.) ] in
+      for _ = 1 to 4 do
+        match !pts with
+        | (x, y) :: _ ->
+          pts :=
+            ( x +. Rng.uniform rng ~lo:0.5 ~hi:2.,
+              y +. Rng.uniform rng ~lo:0. ~hi:2. )
+            :: !pts
+        | [] -> assert false
+      done;
+      let f = Piecewise.of_points (List.rev !pts) in
+      let lo = 0.2 and hi = Piecewise.max_x f -. 0.1 in
+      let exact = Piecewise.integral_pow_between f ~alpha ~lo ~hi in
+      (* midpoint rule, 4000 slices *)
+      let n = 4000 in
+      let h = (hi -. lo) /. float_of_int n in
+      let acc = ref 0. in
+      for i = 0 to n - 1 do
+        let x = lo +. ((float_of_int i +. 0.5) *. h) in
+        acc := !acc +. (Piecewise.eval f x ** -.alpha *. h)
+      done;
+      Fcmp.rel_eq ~rel:1e-3 exact !acc)
+
+let prop_piecewise_integral_additive =
+  QCheck.Test.make ~name:"integral is additive over ranges" ~count:200
+    QCheck.(triple (float_range 0.5 2.) (float_range 0.1 4.) (float_range 0.1 4.))
+    (fun (alpha, a, b) ->
+      let f = Piecewise.of_points [ (0., 1.); (5., 6.) ] in
+      let lo = Float.min a b and hi = Float.max a b in
+      let mid = 0.5 *. (lo +. hi) in
+      let whole = Piecewise.integral_pow_between f ~alpha ~lo ~hi in
+      let parts =
+        Piecewise.integral_pow_between f ~alpha ~lo ~hi:mid
+        +. Piecewise.integral_pow_between f ~alpha ~lo:mid ~hi
+      in
+      Fcmp.rel_eq ~rel:1e-9 whole parts)
+
+(* ------------------------------------------------------------------ *)
+(* Timeseries *)
+
+let test_timeseries_basics () =
+  let ts = Timeseries.create ~name:"x" () in
+  Alcotest.(check bool) "empty" true (Timeseries.is_empty ts);
+  Timeseries.add ts ~time:0. 1.;
+  Timeseries.add ts ~time:1. 2.;
+  Timeseries.add ts ~time:2. 4.;
+  Alcotest.(check int) "length" 3 (Timeseries.length ts);
+  Alcotest.(check (option (pair (float 0.) (float 0.)))) "last" (Some (2., 4.))
+    (Timeseries.last ts);
+  Alcotest.(check (option (float 0.))) "value before start" None
+    (Timeseries.value_at ts (-1.));
+  Alcotest.(check (option (float 0.))) "sample and hold" (Some 2.)
+    (Timeseries.value_at ts 1.5);
+  Alcotest.(check (option (float 0.))) "after end" (Some 4.)
+    (Timeseries.value_at ts 10.)
+
+let test_timeseries_out_of_order () =
+  let ts = Timeseries.create () in
+  Timeseries.add ts ~time:1. 1.;
+  Alcotest.check_raises "time ordered"
+    (Invalid_argument "Timeseries.add: samples must be time-ordered")
+    (fun () -> Timeseries.add ts ~time:0.5 2.)
+
+let test_timeseries_mean_over () =
+  let ts = Timeseries.create () in
+  Timeseries.add ts ~time:0. 1.;
+  Timeseries.add ts ~time:1. 3.;
+  (* signal: 1 on [0,1), 3 on [1,2): mean over [0,2] = 2 *)
+  (match Timeseries.mean_over ts ~t0:0. ~t1:2. with
+  | Some m -> check_float "time-weighted mean" 2. m
+  | None -> Alcotest.fail "expected a mean");
+  Alcotest.(check (option (float 0.))) "before first sample" None
+    (Timeseries.mean_over ts ~t0:(-2.) ~t1:(-1.))
+
+let test_timeseries_resample () =
+  let ts = Timeseries.create () in
+  Timeseries.add ts ~time:0. 5.;
+  Timeseries.add ts ~time:1. 6.;
+  let grid = Timeseries.resample ts ~t0:0. ~t1:1.5 ~dt:0.5 in
+  Alcotest.(check int) "grid points" 4 (List.length grid);
+  match grid with
+  | (_, v0) :: (_, v1) :: (_, v2) :: (_, v3) :: [] ->
+    check_float "g0" 5. v0;
+    check_float "g1" 5. v1;
+    check_float "g2" 6. v2;
+    check_float "g3" 6. v3
+  | _ -> Alcotest.fail "unexpected grid shape"
+
+let test_timeseries_smooth () =
+  let ts = Timeseries.create () in
+  for i = 0 to 100 do
+    Timeseries.add ts ~time:(float_of_int i *. 0.1) 10.
+  done;
+  let sm = Timeseries.smooth ts ~tau:0.2 in
+  match Timeseries.last sm with
+  | Some (_, v) -> check_float "smoothing a constant is identity" 10. v
+  | None -> Alcotest.fail "no samples"
+
+(* ------------------------------------------------------------------ *)
+(* Units & Fcmp *)
+
+let test_units () =
+  check_float "gbps" 1e10 (Units.gbps 10.);
+  check_float "usec" 1.6e-5 (Units.usec 16.);
+  check_float "bytes" 12e3 (Units.kb 12.);
+  check_close "transmission time" 1.2e-6
+    (Units.transmission_time ~bytes:1500. ~rate_bps:1e10)
+
+let test_fcmp () =
+  Alcotest.(check bool) "approx_eq" true (Fcmp.approx_eq 1. (1. +. 1e-12));
+  Alcotest.(check bool) "within_fraction yes" true
+    (Fcmp.within_fraction ~frac:0.1 ~actual:95. ~target:100.);
+  Alcotest.(check bool) "within_fraction no" false
+    (Fcmp.within_fraction ~frac:0.1 ~actual:80. ~target:100.);
+  check_float "clamp" 1. (Fcmp.clamp ~lo:0. ~hi:1. 3.);
+  Alcotest.(check bool) "is_finite nan" false (Fcmp.is_finite Float.nan)
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "nf_util"
+    [
+      ( "heap",
+        [
+          quick "basic order" test_heap_basic;
+          quick "pop_exn on empty" test_heap_pop_exn_empty;
+          quick "clear" test_heap_clear;
+          qcheck prop_heap_sorts;
+          qcheck prop_heap_interleaved;
+        ] );
+      ( "ewma",
+        [
+          quick "fixed gain" test_ewma_gain;
+          quick "timed converges to step" test_ewma_timed_convergence;
+          quick "out-of-order samples ignored" test_ewma_timed_out_of_order;
+          quick "90% rise time" test_ewma_rise_time;
+          quick "reset" test_ewma_reset;
+        ] );
+      ( "rng",
+        [
+          quick "deterministic" test_rng_deterministic;
+          quick "seeds differ" test_rng_seeds_differ;
+          quick "float range" test_rng_float_range;
+          quick "int uniformity" test_rng_int_range;
+          quick "exponential mean" test_rng_exponential_mean;
+          quick "split independence" test_rng_split_independent;
+          quick "permutation" test_rng_permutation;
+          quick "derangement" test_rng_derangement;
+          qcheck prop_rng_copy_replays;
+        ] );
+      ( "stats",
+        [
+          quick "percentiles" test_stats_percentile;
+          quick "mean/stddev" test_stats_mean_stddev;
+          quick "boxplot" test_stats_boxplot;
+          quick "cdf" test_stats_cdf;
+          quick "jain index" test_stats_jain;
+          quick "online accumulator" test_stats_online;
+          qcheck prop_stats_percentile_bounds;
+          qcheck prop_online_matches_batch;
+        ] );
+      ( "piecewise",
+        [
+          quick "eval" test_piecewise_eval;
+          quick "inverse" test_piecewise_inverse;
+          quick "validation" test_piecewise_invalid;
+          quick "integral of constant" test_piecewise_integral_constant;
+          quick "integral of linear" test_piecewise_integral_linear;
+          qcheck prop_piecewise_inverse_roundtrip;
+          qcheck prop_piecewise_integral_additive;
+          qcheck prop_piecewise_integral_matches_quadrature;
+        ] );
+      ( "timeseries",
+        [
+          quick "basics" test_timeseries_basics;
+          quick "ordering enforced" test_timeseries_out_of_order;
+          quick "time-weighted mean" test_timeseries_mean_over;
+          quick "resample" test_timeseries_resample;
+          quick "smooth constant" test_timeseries_smooth;
+        ] );
+      ("units", [ quick "conversions" test_units; quick "fcmp" test_fcmp ]);
+    ]
