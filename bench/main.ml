@@ -1,5 +1,6 @@
-(* The full evaluation harness: one entry per table/figure of the paper
-   (§6), plus bechamel microbenchmarks of the core kernels.
+(* The full evaluation harness: every experiment in the shared
+   [Nf_experiments.Registry] (one per table/figure of the paper, §6),
+   plus bechamel microbenchmarks of the core kernels.
 
      dune exec bench/main.exe            # everything, paper scale
      dune exec bench/main.exe -- --quick # scaled-down sweep
@@ -21,63 +22,6 @@ let timed name f =
   let t0 = Unix.gettimeofday () in
   f ();
   Format.printf "@.(%s finished in %.1f s)@." name (Unix.gettimeofday () -. t0)
-
-(* ------------------------------------------------------------------ *)
-(* Experiment wrappers *)
-
-let run_table1 () = Format.printf "%a@." E.Exp_table1.pp (E.Exp_table1.run ())
-
-let run_table2 () = Format.printf "%a@." E.Exp_table2.pp ()
-
-let run_fig2 () = Format.printf "%a@." E.Exp_fig2.pp (E.Exp_fig2.run ())
-
-let run_fig4a () =
-  let n_events = if !quick then 20 else 100 in
-  Format.printf "%a@." E.Exp_fig4a.pp (E.Exp_fig4a.run ~n_events ())
-
-let run_fig4bc () = Format.printf "%a@." E.Exp_fig4bc.pp (E.Exp_fig4bc.run ())
-
-let run_fig4a_packet () =
-  let n_events = if !quick then 3 else 5 in
-  Format.printf "%a@." E.Exp_fig4a.pp_packet (E.Exp_fig4a.run_packet ~n_events ())
-
-let run_fig5 () =
-  let n_flows = if !quick then 400 else 1500 in
-  Format.printf "%a@." E.Exp_fig5.pp (E.Exp_fig5.run ~n_flows ())
-
-let run_fig6a () =
-  let n_events = if !quick then 3 else 6 in
-  Format.printf "%a@." E.Exp_fig6.pp_dt (E.Exp_fig6.run_dt ~n_events ())
-
-let run_fig6b () =
-  let n_events = if !quick then 10 else 30 in
-  Format.printf "%a@." E.Exp_fig6.pp_interval (E.Exp_fig6.run_interval ~n_events ())
-
-let run_fig6c () =
-  let n_events = if !quick then 10 else 30 in
-  Format.printf "%a@." E.Exp_fig6.pp_alpha (E.Exp_fig6.run_alpha ~n_events ())
-
-let run_fig7 () =
-  let n_flows = if !quick then 300 else 1000 in
-  Format.printf "%a@." E.Exp_fig7.pp (E.Exp_fig7.run ~n_flows ())
-
-let run_fig8 () = Format.printf "%a@." E.Exp_fig8.pp (E.Exp_fig8.run ())
-
-let run_fig9 () = Format.printf "%a@." E.Exp_fig9.pp (E.Exp_fig9.run ())
-
-let run_fig10 () = Format.printf "%a@." E.Exp_fig10.pp (E.Exp_fig10.run ())
-
-let run_swift () = Format.printf "%a@." E.Exp_swift.pp (E.Exp_swift.run ())
-
-let run_queues () = Format.printf "%a@." E.Exp_queues.pp (E.Exp_queues.run ())
-
-let run_random () =
-  let instances_per_alpha = if !quick then 10 else 40 in
-  Format.printf "%a@." E.Exp_random.pp (E.Exp_random.run ~instances_per_alpha ())
-
-let run_ablation () =
-  let n_events = if !quick then 10 else 25 in
-  Format.printf "%a@." E.Exp_ablation.pp (E.Exp_ablation.run ~n_events ())
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the core kernels *)
@@ -185,34 +129,18 @@ let run_micro () =
 
 (* ------------------------------------------------------------------ *)
 
-let experiments =
-  [
-    ("table1", run_table1);
-    ("table2", run_table2);
-    ("fig2", run_fig2);
-    ("fig4a", run_fig4a);
-    ("fig4a-packet", run_fig4a_packet);
-    ("fig4bc", run_fig4bc);
-    ("fig5", run_fig5);
-    ("fig6a", run_fig6a);
-    ("fig6b", run_fig6b);
-    ("fig6c", run_fig6c);
-    ("fig7", run_fig7);
-    ("fig8", run_fig8);
-    ("fig9", run_fig9);
-    ("fig10", run_fig10);
-    ("swift", run_swift);
-    ("queues", run_queues);
-    ("random", run_random);
-    ("ablation", run_ablation);
-    ("micro", run_micro);
-  ]
+let experiments () =
+  List.map
+    (fun e -> (e.E.Registry.name, fun () -> e.E.Registry.run ~quick:!quick))
+    (E.Registry.all ())
+  @ [ ("micro", run_micro) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let args = List.filter (fun a -> a <> "--") args in
   let quick_flag, selected = List.partition (fun a -> a = "--quick") args in
   if quick_flag <> [] then quick := true;
+  let experiments = experiments () in
   let to_run =
     match selected with
     | [] -> experiments

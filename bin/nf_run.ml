@@ -1,98 +1,32 @@
 (* nf_run: command-line front end for the NUMFabric reproduction.
 
-     nf_run list                 enumerate experiments
-     nf_run exp fig4a [--quick]  run one experiment
-     nf_run solve ...            one-off allocation on a leaf-spine
-*)
+     nf_run list                       enumerate experiments and protocols
+     nf_run exp fig4a [--quick]        run one experiment
+     nf_run exp fig4bc --record out.json   ... and export its run record
+     nf_run proto dctcp                smoke-run one transport protocol
+     nf_run solve ...                  one-off allocation on a leaf-spine
+
+   Experiments come from the [Nf_experiments.Registry]; transport
+   protocols from [Nf_sim.Protocols]. Neither list is maintained here. *)
 
 module E = Nf_experiments
-
-let experiments : (string * string * (quick:bool -> unit)) list =
-  [
-    ( "table1",
-      "utility-function menu (Table 1)",
-      fun ~quick:_ -> Format.printf "%a@." E.Exp_table1.pp (E.Exp_table1.run ()) );
-    ( "table2",
-      "default parameters (Table 2)",
-      fun ~quick:_ -> Format.printf "%a@." E.Exp_table2.pp () );
-    ( "fig2",
-      "bandwidth-function water-filling example (Figure 2)",
-      fun ~quick:_ -> Format.printf "%a@." E.Exp_fig2.pp (E.Exp_fig2.run ()) );
-    ( "fig4a",
-      "convergence-time CDF, NUMFabric vs DGD vs RCP* (Figure 4a)",
-      fun ~quick ->
-        let n_events = if quick then 20 else 100 in
-        Format.printf "%a@." E.Exp_fig4a.pp (E.Exp_fig4a.run ~n_events ()) );
-    ( "fig4a-packet",
-      "Figure 4a's comparison at packet level (reduced scale)",
-      fun ~quick ->
-        let n_events = if quick then 3 else 5 in
-        Format.printf "%a@." E.Exp_fig4a.pp_packet (E.Exp_fig4a.run_packet ~n_events ()) );
-    ( "fig4bc",
-      "packet-level rate stability, DCTCP vs NUMFabric (Figures 4b/4c)",
-      fun ~quick:_ -> Format.printf "%a@." E.Exp_fig4bc.pp (E.Exp_fig4bc.run ()) );
-    ( "fig5",
-      "deviation from ideal rates, dynamic workloads (Figure 5)",
-      fun ~quick ->
-        let n_flows = if quick then 400 else 1500 in
-        Format.printf "%a@." E.Exp_fig5.pp (E.Exp_fig5.run ~n_flows ()) );
-    ( "fig6a",
-      "sensitivity to Swift's dt, packet level (Figure 6a)",
-      fun ~quick ->
-        let n_events = if quick then 3 else 6 in
-        Format.printf "%a@." E.Exp_fig6.pp_dt (E.Exp_fig6.run_dt ~n_events ()) );
-    ( "fig6b",
-      "sensitivity to the price-update interval (Figure 6b)",
-      fun ~quick ->
-        let n_events = if quick then 10 else 30 in
-        Format.printf "%a@." E.Exp_fig6.pp_interval
-          (E.Exp_fig6.run_interval ~n_events ()) );
-    ( "fig6c",
-      "sensitivity to alpha, 1x and 2x-slowed loops (Figure 6c)",
-      fun ~quick ->
-        let n_events = if quick then 10 else 30 in
-        Format.printf "%a@." E.Exp_fig6.pp_alpha (E.Exp_fig6.run_alpha ~n_events ()) );
-    ( "fig7",
-      "FCT vs load, NUMFabric vs pFabric (Figure 7)",
-      fun ~quick ->
-        let n_flows = if quick then 300 else 1000 in
-        Format.printf "%a@." E.Exp_fig7.pp (E.Exp_fig7.run ~n_flows ()) );
-    ( "fig8",
-      "multipath resource pooling (Figure 8)",
-      fun ~quick:_ -> Format.printf "%a@." E.Exp_fig8.pp (E.Exp_fig8.run ()) );
-    ( "fig9",
-      "bandwidth functions vs link capacity (Figure 9)",
-      fun ~quick:_ -> Format.printf "%a@." E.Exp_fig9.pp (E.Exp_fig9.run ()) );
-    ( "fig10",
-      "bandwidth functions + pooling, capacity change (Figure 10)",
-      fun ~quick:_ -> Format.printf "%a@." E.Exp_fig10.pp (E.Exp_fig10.run ()) );
-    ( "swift",
-      "packet-level Swift vs weighted max-min oracle",
-      fun ~quick:_ -> Format.printf "%a@." E.Exp_swift.pp (E.Exp_swift.run ()) );
-    ( "queues",
-      "equilibrium queue occupancy vs dt (packet level)",
-      fun ~quick:_ -> Format.printf "%a@." E.Exp_queues.pp (E.Exp_queues.run ()) );
-    ( "random",
-      "randomized xWI validation (tech-report style)",
-      fun ~quick ->
-        let instances_per_alpha = if quick then 10 else 40 in
-        Format.printf "%a@." E.Exp_random.pp
-          (E.Exp_random.run ~instances_per_alpha ()) );
-    ( "ablation",
-      "design-choice ablations (beta, eta, residual aggregation, burst)",
-      fun ~quick ->
-        let n_events = if quick then 10 else 25 in
-        Format.printf "%a@." E.Exp_ablation.pp (E.Exp_ablation.run ~n_events ()) );
-  ]
 
 open Cmdliner
 
 let list_cmd =
-  let doc = "List the available experiments." in
+  let doc = "List the available experiments and transport protocols." in
   let run () =
+    Format.printf "Experiments (nf_run exp NAME):@.";
     List.iter
-      (fun (name, desc, _) -> Format.printf "  %-8s %s@." name desc)
-      experiments
+      (fun e ->
+        Format.printf "  %-12s %s@." e.E.Registry.name e.E.Registry.description)
+      (E.Registry.all ());
+    Format.printf "@.Transport protocols (nf_run proto NAME):@.";
+    List.iter
+      (fun name ->
+        let p = Nf_sim.Protocols.get name in
+        Format.printf "  %-14s %s@." name (Nf_sim.Protocol.description p))
+      (Nf_sim.Protocols.names ())
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
@@ -100,33 +34,131 @@ let quick_arg =
   let doc = "Run a scaled-down version (for smoke tests)." in
   Arg.(value & flag & info [ "quick" ] ~doc)
 
+let record_arg =
+  let doc =
+    "Write the run record (queue/price/rate/drops/fct series of every \
+     packet-level network the experiment ran) to $(docv) as JSON."
+  in
+  Arg.(value & opt (some string) None & info [ "record" ] ~docv:"FILE" ~doc)
+
+let export_records path =
+  let json = E.Support.records_json () in
+  match
+    let oc = open_out path in
+    output_string oc json;
+    output_char oc '\n';
+    close_out oc
+  with
+  | () -> Format.printf "(run record written to %s)@." path
+  | exception Sys_error msg ->
+    Format.eprintf "cannot write run record: %s@." msg;
+    exit 1
+
 let exp_cmd =
   let doc = "Run one experiment by name (see $(b,nf_run list))." in
   let name_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME")
   in
-  let run name quick =
-    match List.find_opt (fun (n, _, _) -> n = name) experiments with
-    | Some (_, _, f) ->
+  let run name quick record =
+    match E.Registry.find name with
+    | Some e ->
+      E.Support.reset_records ();
       let t0 = Unix.gettimeofday () in
-      f ~quick;
-      Format.printf "(finished in %.1f s)@." (Unix.gettimeofday () -. t0)
+      e.E.Registry.run ~quick;
+      Format.printf "(finished in %.1f s)@." (Unix.gettimeofday () -. t0);
+      (match record with Some path -> export_records path | None -> ())
     | None ->
       Format.eprintf "unknown experiment %S; try `nf_run list'@." name;
       exit 2
   in
-  Cmd.v (Cmd.info "exp" ~doc) Term.(const run $ name_arg $ quick_arg)
+  Cmd.v (Cmd.info "exp" ~doc) Term.(const run $ name_arg $ quick_arg $ record_arg)
 
 let all_cmd =
   let doc = "Run every experiment in sequence." in
   let run quick =
     List.iter
-      (fun (name, _, f) ->
-        Format.printf "@.==== %s ====@." name;
-        f ~quick)
-      experiments
+      (fun e ->
+        Format.printf "@.==== %s ====@." e.E.Registry.name;
+        e.E.Registry.run ~quick)
+      (E.Registry.all ())
   in
   Cmd.v (Cmd.info "all" ~doc) Term.(const run $ quick_arg)
+
+(* Smoke-run one registered transport: two finite flows over a shared
+   10 Gbps bottleneck, report FCTs and the link counters. Exercises the
+   whole protocol stack (queue disc, feedback engine, flow hooks) for any
+   protocol selected by registry name. *)
+let proto_cmd =
+  let doc =
+    "Run a 2-flow single-bottleneck scenario under the named transport \
+     protocol (see $(b,nf_run list))."
+  in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PROTOCOL")
+  in
+  let record_arg =
+    let doc = "Write the scenario's run record to $(docv) as JSON." in
+    Arg.(value & opt (some string) None & info [ "record" ] ~docv:"FILE" ~doc)
+  in
+  let run name record_path =
+    match Nf_sim.Protocols.find name with
+    | None ->
+      Format.eprintf "unknown protocol %S (known: %s)@." name
+        (String.concat ", " (Nf_sim.Protocols.names ()));
+      exit 2
+    | Some protocol ->
+      let module Network = Nf_sim.Network in
+      let module Builders = Nf_topo.Builders in
+      let sb = Builders.single_bottleneck ~n_senders:2 () in
+      let config =
+        { Nf_sim.Config.default with Nf_sim.Config.record_rates = true }
+      in
+      let net =
+        Network.create ~config ~topology:sb.Builders.sb_topo ~protocol ()
+      in
+      Network.monitor_links net ~links:[ sb.Builders.bottleneck ] ~every:50e-6;
+      let size = 600_000. in
+      let utility () =
+        if Nf_sim.Protocol.needs_utility protocol then
+          Some (Nf_num.Utility.proportional_fair ())
+        else None
+      in
+      Array.iteri
+        (fun i src ->
+          Network.add_flow net
+            (Network.flow ?utility:(utility ()) ~size ~id:i ~src
+               ~dst:sb.Builders.receiver ()))
+        sb.Builders.senders;
+      Network.run net ~until:0.05;
+      Format.printf "@[<v>protocol %s: 2 x %.0f KB over a shared 10 Gbps \
+                     bottleneck@," name (size /. 1e3);
+      Array.iteri
+        (fun i _ ->
+          match Network.fct net i with
+          | Some fct ->
+            Format.printf "  flow %d: done in %.0f us (%.0f KB received)@," i
+              (fct *. 1e6)
+              (Network.received_bytes net i /. 1e3)
+          | None ->
+            Format.printf "  flow %d: DID NOT FINISH (%.0f KB received)@," i
+              (Network.received_bytes net i /. 1e3))
+        sb.Builders.senders;
+      Format.printf "  bottleneck: %.0f KB delivered, %d drops total@]@."
+        (Network.link_delivered_bytes net ~link:sb.Builders.bottleneck /. 1e3)
+        (Network.total_drops net);
+      (match record_path with
+      | Some path -> (
+        match Nf_sim.Record.write_json (Network.record net) ~path with
+        | () -> Format.printf "(run record written to %s)@." path
+        | exception Sys_error msg ->
+          Format.eprintf "cannot write run record: %s@." msg;
+          exit 1)
+      | None -> ());
+      if Array.exists (fun i -> Network.fct net i = None)
+           (Array.mapi (fun i _ -> i) sb.Builders.senders)
+      then exit 1
+  in
+  Cmd.v (Cmd.info "proto" ~doc) Term.(const run $ name_arg $ record_arg)
 
 let solve_cmd =
   let doc =
@@ -174,4 +206,4 @@ let solve_cmd =
 let () =
   let doc = "NUMFabric (SIGCOMM 2016) reproduction toolkit" in
   let info = Cmd.info "nf_run" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; exp_cmd; all_cmd; solve_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; exp_cmd; all_cmd; proto_cmd; solve_cmd ]))

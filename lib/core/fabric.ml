@@ -97,7 +97,7 @@ let simulate ?config ~until t =
     t.demand_list;
   let net =
     Nf_sim.Network.create ?config ~topology:t.topology
-      ~protocol:Nf_sim.Network.Numfabric ()
+      ~protocol:(Nf_sim.Protocols.get "numfabric") ()
   in
   List.iter
     (fun d ->

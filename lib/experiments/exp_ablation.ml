@@ -85,7 +85,14 @@ let run ?(seed = 4) ?(n_events = 25) () =
           | None -> ("exact weights (STFQ)", Nf_sim.Config.default)
           | Some b ->
             ( Printf.sprintf "weights quantized to powers of %g" b,
-              { Nf_sim.Config.default with Nf_sim.Config.weight_quant_base = Some b } )
+              {
+                Nf_sim.Config.default with
+                Nf_sim.Config.swift =
+                  {
+                    Nf_sim.Config.default_swift with
+                    Nf_sim.Config.weight_quant_base = Some b;
+                  };
+              } )
         in
         packet_variant label config)
       [ None; Some 1.3; Some 2.; Some 4. ]
@@ -95,7 +102,11 @@ let run ?(seed = 4) ?(n_events = 25) () =
       (fun burst ->
         packet_variant
           (Printf.sprintf "init burst = %d pkts" burst)
-          { Nf_sim.Config.default with Nf_sim.Config.init_burst = burst })
+          {
+            Nf_sim.Config.default with
+            Nf_sim.Config.swift =
+              { Nf_sim.Config.default_swift with Nf_sim.Config.init_burst = burst };
+          })
       [ 1; 3; 6 ]
   in
   { beta_sweep; eta_sweep; residual_agg; burst_sweep; weight_quant }

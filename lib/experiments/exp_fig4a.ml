@@ -100,12 +100,16 @@ let run_packet ?(seed = 11) ?(n_events = 5) () =
      the fastest stable setting from a sweep — the per-workload tuning the
      paper describes having to do for DGD (§3, §6). *)
   let dgd_config =
-    { Nf_sim.Config.default with Nf_sim.Config.dgd_update_interval = 48e-6 }
+    {
+      Nf_sim.Config.default with
+      Nf_sim.Config.dgd =
+        { Nf_sim.Config.default_dgd with Nf_sim.Config.dgd_update_interval = 48e-6 };
+    }
   in
   [
-    case "NUMFabric" Nf_sim.Network.Numfabric Nf_sim.Config.default;
-    case "DGD" Nf_sim.Network.Dgd dgd_config;
-    case "RCP*" (Nf_sim.Network.Rcp { alpha = 1. }) Nf_sim.Config.default;
+    case "NUMFabric" (Nf_sim.Protocols.get "numfabric") Nf_sim.Config.default;
+    case "DGD" (Nf_sim.Protocols.get "dgd") dgd_config;
+    case "RCP*" (Nf_sim.Protocols.get "rcp") Nf_sim.Config.default;
   ]
 
 let pp_packet ppf t =

@@ -32,9 +32,10 @@ let run_protocol proto =
   let config = { Nf_sim.Config.default with Nf_sim.Config.record_rates = true } in
   let net = Network.create ~config ~topology:sb.Builders.sb_topo ~protocol:proto () in
   let u () = Nf_num.Utility.proportional_fair () in
-  let utility = match proto with Network.Numfabric -> Some (u ()) | _ -> None in
+  let needs_u = Nf_sim.Protocol.needs_utility proto in
+  let utility () = if needs_u then Some (u ()) else None in
   Network.add_flow net
-    (Network.flow ?utility ~id:0 ~src:sb.Builders.senders.(0)
+    (Network.flow ?utility:(utility ()) ~id:0 ~src:sb.Builders.senders.(0)
        ~dst:sb.Builders.receiver ());
   (* Competitors: one per sender slot 1..5, started/stopped per epoch. *)
   let next_id = ref 1 in
@@ -46,20 +47,24 @@ let run_protocol proto =
         let id = !next_id in
         incr next_id;
         Network.add_flow net
-          (Network.flow ?utility:(match proto with Network.Numfabric -> Some (u ()) | _ -> None)
-             ~start ~id
+          (Network.flow ?utility:(utility ()) ~start ~id
              ~src:sb.Builders.senders.(1 + ((j - 1) mod 5))
              ~dst:sb.Builders.receiver ());
         Network.stop_flow_at net ~id stop
       done)
     competitors_per_epoch;
+  (* Bottleneck queue + feedback samples land in the run record (visible
+     via [nf_run exp fig4bc --record]); sampling is read-only. *)
+  Network.monitor_links net ~links:[ sb.Builders.bottleneck ] ~every:50e-6;
   let total = float_of_int (List.length competitors_per_epoch) *. epoch_len in
   Network.run net ~until:total;
   net
 
 let run () =
-  let dctcp = run_protocol Network.Dctcp in
-  let numfabric = run_protocol Network.Numfabric in
+  let dctcp = run_protocol (Nf_sim.Protocols.get "dctcp") in
+  let numfabric = run_protocol (Nf_sim.Protocols.get "numfabric") in
+  Support.keep_record ~label:"fig4bc-dctcp" (Network.record dctcp);
+  Support.keep_record ~label:"fig4bc-numfabric" (Network.record numfabric);
   let series net =
     match Network.rate_series net 0 with
     | Some ts -> ts

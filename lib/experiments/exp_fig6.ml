@@ -19,7 +19,13 @@ let run_dt ?(seed = 11) ?(n_events = 5)
   let setup = Psupport.default_setup ~seed ~n_events () in
   List.map
     (fun dt ->
-      let config = { Nf_sim.Config.default with Nf_sim.Config.dt_slack = dt } in
+      let config =
+        {
+          Nf_sim.Config.default with
+          Nf_sim.Config.swift =
+            { Nf_sim.Config.default_swift with Nf_sim.Config.dt_slack = dt };
+        }
+      in
       let r =
         Psupport.semidyn ~config ~setup ~topology:ls.Nf_topo.Builders.topo
           ~hosts:ls.Nf_topo.Builders.servers

@@ -22,10 +22,9 @@ let run_case ?(n_flows = 4) ~label ~expected_pkts ~protocol ~config () =
   let sb = Builders.single_bottleneck ~n_senders:n_flows () in
   let net = Network.create ~config ~topology:sb.Builders.sb_topo ~protocol () in
   let utility =
-    match protocol with
-    | Network.Numfabric | Network.Numfabric_srpt _ | Network.Dgd ->
+    if Nf_sim.Protocol.needs_utility protocol then
       Some (Nf_num.Utility.proportional_fair ())
-    | Network.Rcp _ | Network.Dctcp | Network.Pfabric -> None
+    else None
   in
   Array.iteri
     (fun i s ->
@@ -57,8 +56,13 @@ let run () =
     run_case
       ~label:(Printf.sprintf "NUMFabric, dt = %g us" (dt *. 1e6))
       ~expected_pkts:(dt *. 1e10 /. 8. /. 1500.)
-      ~protocol:Network.Numfabric
-      ~config:{ Nf_sim.Config.default with Nf_sim.Config.dt_slack = dt }
+      ~protocol:(Nf_sim.Protocols.get "numfabric")
+      ~config:
+        {
+          Nf_sim.Config.default with
+          Nf_sim.Config.swift =
+            { Nf_sim.Config.default_swift with Nf_sim.Config.dt_slack = dt };
+        }
       ()
   in
   [
@@ -67,7 +71,7 @@ let run () =
     dt_case 12e-6;
     dt_case 24e-6;
     run_case ~label:"DCTCP (threshold 30 KB = 20 pkts)" ~expected_pkts:20.
-      ~protocol:Network.Dctcp ~config:Nf_sim.Config.default ();
+      ~protocol:(Nf_sim.Protocols.get "dctcp") ~config:Nf_sim.Config.default ();
   ]
 
 let pp ppf t =

@@ -44,7 +44,9 @@ let run ?(seed = 21) ?(n_flows = 12) ?(duration = 8e-3) () =
   in
   let caps = Array.map (fun l -> l.Topology.capacity) (Topology.links topology) in
   let expected = (Nf_num.Maxmin.solve ~caps ~paths ~weights).Nf_num.Maxmin.rates in
-  let net = Network.create ~topology ~protocol:Network.Numfabric () in
+  let net =
+    Network.create ~topology ~protocol:(Nf_sim.Protocols.get "numfabric") ()
+  in
   Array.iteri
     (fun i { Nf_workload.Traffic.src; dst } ->
       Network.add_flow net

@@ -14,13 +14,22 @@ let pp ppf () =
      \  DCTCP:     marking threshold = %d B, g = %g@,\
      \  pFabric:   buffer = %d B, RTO = %g us@,\
      \  switches:  %d B buffering per port; rate measurement EWMA tau = %g us@]"
-    (us c.Nf_sim.Config.ewma_time) (us c.Nf_sim.Config.dt_slack)
-    (us c.Nf_sim.Config.price_update_interval) c.Nf_sim.Config.eta
-    c.Nf_sim.Config.beta c.Nf_sim.Config.init_burst
-    (us c.Nf_sim.Config.dgd_update_interval) c.Nf_sim.Config.dgd_gain_util
-    c.Nf_sim.Config.dgd_gain_queue c.Nf_sim.Config.dgd_price_scale
-    (us c.Nf_sim.Config.rcp_update_interval) c.Nf_sim.Config.rcp_gain_spare
-    c.Nf_sim.Config.rcp_gain_queue (us c.Nf_sim.Config.rcp_mean_rtt)
-    c.Nf_sim.Config.dctcp_mark_threshold c.Nf_sim.Config.dctcp_gain
-    c.Nf_sim.Config.pfabric_buffer_bytes (us c.Nf_sim.Config.pfabric_rto)
+    (us c.Nf_sim.Config.swift.Nf_sim.Config.ewma_time)
+    (us c.Nf_sim.Config.swift.Nf_sim.Config.dt_slack)
+    (us c.Nf_sim.Config.swift.Nf_sim.Config.price_update_interval)
+    c.Nf_sim.Config.swift.Nf_sim.Config.eta
+    c.Nf_sim.Config.swift.Nf_sim.Config.beta
+    c.Nf_sim.Config.swift.Nf_sim.Config.init_burst
+    (us c.Nf_sim.Config.dgd.Nf_sim.Config.dgd_update_interval)
+    c.Nf_sim.Config.dgd.Nf_sim.Config.dgd_gain_util
+    c.Nf_sim.Config.dgd.Nf_sim.Config.dgd_gain_queue
+    c.Nf_sim.Config.dgd.Nf_sim.Config.dgd_price_scale
+    (us c.Nf_sim.Config.rcp.Nf_sim.Config.rcp_update_interval)
+    c.Nf_sim.Config.rcp.Nf_sim.Config.rcp_gain_spare
+    c.Nf_sim.Config.rcp.Nf_sim.Config.rcp_gain_queue
+    (us c.Nf_sim.Config.rcp.Nf_sim.Config.rcp_mean_rtt)
+    c.Nf_sim.Config.dctcp.Nf_sim.Config.dctcp_mark_threshold
+    c.Nf_sim.Config.dctcp.Nf_sim.Config.dctcp_gain
+    c.Nf_sim.Config.pfabric.Nf_sim.Config.pfabric_buffer_bytes
+    (us c.Nf_sim.Config.pfabric.Nf_sim.Config.pfabric_rto)
     c.Nf_sim.Config.buffer_bytes (us c.Nf_sim.Config.rate_measure_tau)

@@ -79,7 +79,8 @@ let active_at activations t =
     activations
 
 let semidyn ?(config = Nf_sim.Config.default)
-    ?(protocol = Network.Numfabric) ~setup ~topology ~hosts ~utility_of () =
+    ?(protocol = Nf_sim.Protocols.get "numfabric") ~setup ~topology ~hosts
+    ~utility_of () =
   let rng = Nf_util.Rng.create ~seed:setup.seed in
   let scenario =
     Semidynamic.generate rng ~hosts ~n_paths:setup.n_paths
@@ -95,10 +96,9 @@ let semidyn ?(config = Nf_sim.Config.default)
   let activations = build_activations setup scenario in
   let net = Network.create ~config ~topology ~protocol () in
   let flow_utility =
-    match protocol with
-    | Network.Numfabric | Network.Dgd -> fun idx -> Some (utility_of idx)
-    | Network.Numfabric_srpt _ | Network.Rcp _ | Network.Dctcp | Network.Pfabric ->
-      fun _ -> None
+    if Nf_sim.Protocol.needs_utility protocol then fun idx ->
+      Some (utility_of idx)
+    else fun _ -> None
   in
   List.iter
     (fun a ->

@@ -31,7 +31,7 @@ type result = {
 
 val semidyn :
   ?config:Nf_sim.Config.t ->
-  ?protocol:Nf_sim.Network.protocol ->
+  ?protocol:Nf_sim.Protocol.t ->
   setup:setup ->
   topology:Nf_topo.Topology.t ->
   hosts:int array ->

@@ -1,0 +1,96 @@
+type entry = {
+  name : string;
+  description : string;
+  run : quick:bool -> unit;  (* prints its report on stdout *)
+}
+
+let entries : (string, entry) Hashtbl.t = Hashtbl.create 32
+
+let order : string list ref = ref []  (* registration order, for listings *)
+
+let register ~name ~description run =
+  if Hashtbl.mem entries name then
+    invalid_arg (Printf.sprintf "Registry.register: duplicate experiment %S" name);
+  Hashtbl.replace entries name { name; description; run };
+  order := name :: !order
+
+let find name = Hashtbl.find_opt entries name
+
+let all () = List.rev_map (fun n -> Hashtbl.find entries n) !order
+
+let names () = List.rev !order
+
+(* ------------------------------------------------------------------ *)
+(* The built-in experiments (the paper's tables and figures plus the
+   validation/ablation extras). *)
+
+let () =
+  register ~name:"table1" ~description:"utility-function menu (Table 1)"
+    (fun ~quick:_ -> Format.printf "%a@." Exp_table1.pp (Exp_table1.run ()));
+  register ~name:"table2" ~description:"default parameters (Table 2)"
+    (fun ~quick:_ -> Format.printf "%a@." Exp_table2.pp ());
+  register ~name:"fig2"
+    ~description:"bandwidth-function water-filling example (Figure 2)"
+    (fun ~quick:_ -> Format.printf "%a@." Exp_fig2.pp (Exp_fig2.run ()));
+  register ~name:"fig4a"
+    ~description:"convergence-time CDF, NUMFabric vs DGD vs RCP* (Figure 4a)"
+    (fun ~quick ->
+      let n_events = if quick then 20 else 100 in
+      Format.printf "%a@." Exp_fig4a.pp (Exp_fig4a.run ~n_events ()));
+  register ~name:"fig4a-packet"
+    ~description:"Figure 4a's comparison at packet level (reduced scale)"
+    (fun ~quick ->
+      let n_events = if quick then 3 else 5 in
+      Format.printf "%a@." Exp_fig4a.pp_packet (Exp_fig4a.run_packet ~n_events ()));
+  register ~name:"fig4bc"
+    ~description:"packet-level rate stability, DCTCP vs NUMFabric (Figures 4b/4c)"
+    (fun ~quick:_ -> Format.printf "%a@." Exp_fig4bc.pp (Exp_fig4bc.run ()));
+  register ~name:"fig5"
+    ~description:"deviation from ideal rates, dynamic workloads (Figure 5)"
+    (fun ~quick ->
+      let n_flows = if quick then 400 else 1500 in
+      Format.printf "%a@." Exp_fig5.pp (Exp_fig5.run ~n_flows ()));
+  register ~name:"fig6a"
+    ~description:"sensitivity to Swift's dt, packet level (Figure 6a)"
+    (fun ~quick ->
+      let n_events = if quick then 3 else 6 in
+      Format.printf "%a@." Exp_fig6.pp_dt (Exp_fig6.run_dt ~n_events ()));
+  register ~name:"fig6b"
+    ~description:"sensitivity to the price-update interval (Figure 6b)"
+    (fun ~quick ->
+      let n_events = if quick then 10 else 30 in
+      Format.printf "%a@." Exp_fig6.pp_interval (Exp_fig6.run_interval ~n_events ()));
+  register ~name:"fig6c"
+    ~description:"sensitivity to alpha, 1x and 2x-slowed loops (Figure 6c)"
+    (fun ~quick ->
+      let n_events = if quick then 10 else 30 in
+      Format.printf "%a@." Exp_fig6.pp_alpha (Exp_fig6.run_alpha ~n_events ()));
+  register ~name:"fig7"
+    ~description:"FCT vs load, NUMFabric vs pFabric (Figure 7)"
+    (fun ~quick ->
+      let n_flows = if quick then 300 else 1000 in
+      Format.printf "%a@." Exp_fig7.pp (Exp_fig7.run ~n_flows ()));
+  register ~name:"fig8" ~description:"multipath resource pooling (Figure 8)"
+    (fun ~quick:_ -> Format.printf "%a@." Exp_fig8.pp (Exp_fig8.run ()));
+  register ~name:"fig9"
+    ~description:"bandwidth functions vs link capacity (Figure 9)"
+    (fun ~quick:_ -> Format.printf "%a@." Exp_fig9.pp (Exp_fig9.run ()));
+  register ~name:"fig10"
+    ~description:"bandwidth functions + pooling, capacity change (Figure 10)"
+    (fun ~quick:_ -> Format.printf "%a@." Exp_fig10.pp (Exp_fig10.run ()));
+  register ~name:"swift"
+    ~description:"packet-level Swift vs weighted max-min oracle"
+    (fun ~quick:_ -> Format.printf "%a@." Exp_swift.pp (Exp_swift.run ()));
+  register ~name:"queues"
+    ~description:"equilibrium queue occupancy vs dt (packet level)"
+    (fun ~quick:_ -> Format.printf "%a@." Exp_queues.pp (Exp_queues.run ()));
+  register ~name:"random"
+    ~description:"randomized xWI validation (tech-report style)"
+    (fun ~quick ->
+      let instances_per_alpha = if quick then 10 else 40 in
+      Format.printf "%a@." Exp_random.pp (Exp_random.run ~instances_per_alpha ()));
+  register ~name:"ablation"
+    ~description:"design-choice ablations (beta, eta, residual aggregation, burst)"
+    (fun ~quick ->
+      let n_events = if quick then 10 else 25 in
+      Format.printf "%a@." Exp_ablation.pp (Exp_ablation.run ~n_events ()))

@@ -1,0 +1,25 @@
+(** Name-keyed registry of runnable experiments.
+
+    The built-in experiments (the paper's tables/figures plus the
+    validation and ablation extras) register themselves when this module
+    is linked; the CLI ([nf_run list] / [nf_run exp]) and the bench
+    harness both enumerate from here, so adding an experiment is one
+    {!register} call. *)
+
+type entry = {
+  name : string;
+  description : string;
+  run : quick:bool -> unit;
+      (** runs the experiment and prints its report on stdout;
+          [quick] selects a scaled-down instance for smoke runs *)
+}
+
+val register : name:string -> description:string -> (quick:bool -> unit) -> unit
+(** @raise Invalid_argument on a duplicate name. *)
+
+val find : string -> entry option
+
+val all : unit -> entry list
+(** Registration order (built-ins: paper order). *)
+
+val names : unit -> string list

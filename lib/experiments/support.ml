@@ -216,3 +216,27 @@ let pp_cdf_summary ppf samples =
       "min %.0f | p25 %.0f | median %.0f | p75 %.0f | p95 %.0f | max %.0f (us)"
       (p 0.) (p 25.) (p 50.) (p 75.) (p 95.) (p 100.)
   end
+
+(* ------------------------------------------------------------------ *)
+(* Run-record collection: experiments deposit the Record.t of each
+   packet-level network they ran; the CLI exports the collection after
+   the experiment returns ([nf_run exp NAME --record out.json]). *)
+
+let collected_records : (string * Nf_sim.Record.t) list ref = ref []
+
+let reset_records () = collected_records := []
+
+let keep_record ~label record =
+  collected_records := (label, record) :: !collected_records
+
+let records () = List.rev !collected_records
+
+let records_json () =
+  let runs =
+    List.map
+      (fun (label, record) ->
+        Printf.sprintf "{\"label\": %S, \"record\": %s}" label
+          (Nf_sim.Record.to_json record))
+      (records ())
+  in
+  Printf.sprintf "{\"runs\": [%s]}" (String.concat ", " runs)

@@ -108,3 +108,19 @@ val pp_rate_gbps : Format.formatter -> float -> unit
 val pp_cdf_summary : Format.formatter -> float array -> unit
 (** Prints min / p25 / median / p75 / p95 / max of a sample set (in µs,
     for convergence times). *)
+
+(** {2 Run records}
+
+    Packet-level experiments deposit each network's {!Nf_sim.Record.t}
+    here ({!keep_record}); the CLI resets the collection before a run and
+    exports it afterwards ([nf_run exp NAME --record out.json]). *)
+
+val reset_records : unit -> unit
+
+val keep_record : label:string -> Nf_sim.Record.t -> unit
+
+val records : unit -> (string * Nf_sim.Record.t) list
+(** Records kept since the last reset, in deposit order. *)
+
+val records_json : unit -> string
+(** [{"runs": [{"label": ..., "record": <Record.to_json>}, ...]}]. *)

@@ -1,29 +1,51 @@
-type t = {
+type swift = {
   ewma_time : float;
   dt_slack : float;
   init_burst : int;
   price_update_interval : float;
   eta : float;
   beta : float;
-  buffer_bytes : int;
+  weight_quant_base : float option;
+  srpt_eps : float;
+}
+
+type dgd = {
   dgd_update_interval : float;
   dgd_gain_util : float;
   dgd_gain_queue : float;
   dgd_price_scale : float;
+}
+
+type rcp = {
   rcp_update_interval : float;
   rcp_gain_spare : float;
   rcp_gain_queue : float;
   rcp_mean_rtt : float;
-  dctcp_mark_threshold : int;
-  dctcp_gain : float;
-  pfabric_buffer_bytes : int;
-  pfabric_rto : float;
-  weight_quant_base : float option;
-  rate_measure_tau : float;
-  record_rates : bool;
+  rcp_alpha : float;
 }
 
-let default =
+type dctcp = {
+  dctcp_mark_threshold : int;
+  dctcp_gain : float;
+}
+
+type pfabric = {
+  pfabric_buffer_bytes : int;
+  pfabric_rto : float;
+}
+
+type t = {
+  buffer_bytes : int;
+  rate_measure_tau : float;
+  record_rates : bool;
+  swift : swift;
+  dgd : dgd;
+  rcp : rcp;
+  dctcp : dctcp;
+  pfabric : pfabric;
+}
+
+let default_swift =
   {
     ewma_time = 20e-6;
     dt_slack = 6e-6;
@@ -31,20 +53,39 @@ let default =
     price_update_interval = 30e-6;
     eta = 5.;
     beta = 0.5;
-    buffer_bytes = 1_000_000;
+    weight_quant_base = None;
+    srpt_eps = 0.125;
+  }
+
+let default_dgd =
+  {
     dgd_update_interval = 16e-6;
     dgd_gain_util = 0.3;
     dgd_gain_queue = 0.15;
     dgd_price_scale = 4e-10;
+  }
+
+let default_rcp =
+  {
     rcp_update_interval = 16e-6;
     rcp_gain_spare = 0.4;
     rcp_gain_queue = 0.2;
     rcp_mean_rtt = 16e-6;
-    dctcp_mark_threshold = 30_000;
-    dctcp_gain = 1. /. 16.;
-    pfabric_buffer_bytes = 36_000;
-    pfabric_rto = 48e-6;
-    weight_quant_base = None;
+    rcp_alpha = 1.;
+  }
+
+let default_dctcp = { dctcp_mark_threshold = 30_000; dctcp_gain = 1. /. 16. }
+
+let default_pfabric = { pfabric_buffer_bytes = 36_000; pfabric_rto = 48e-6 }
+
+let default =
+  {
+    buffer_bytes = 1_000_000;
     rate_measure_tau = 80e-6;
     record_rates = false;
+    swift = default_swift;
+    dgd = default_dgd;
+    rcp = default_rcp;
+    dctcp = default_dctcp;
+    pfabric = default_pfabric;
   }

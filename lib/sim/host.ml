@@ -1,4 +1,3 @@
-module Utility = Nf_num.Utility
 module Ewma = Nf_util.Ewma
 
 type ctx = {
@@ -9,57 +8,14 @@ type ctx = {
   cfg : Config.t;
 }
 
-type proto =
-  | Proto_numfabric of Utility.t
-  | Proto_numfabric_srpt of float  (* eps; utility from remaining size *)
-  | Proto_dgd of Utility.t
-  | Proto_rcp of float
-  | Proto_dctcp
-  | Proto_pfabric
-
 let mss = Packet.data_size
 
 let mss_f = float_of_int mss
 
 (* --------------------------------------------------------------------- *)
-(* Protocol-specific sender state *)
-
-type swift = {
-  mutable sw_utility : Utility.t;
-  sw_srpt_eps : float option;
-    (* when set, the utility tracks the remaining size (SRPT, §2) *)
-  sw_rate : Ewma.timed;  (* R-hat *)
-  mutable sw_weight : float;
-  mutable sw_window : float;  (* bytes *)
-  mutable sw_price : float;
-  mutable sw_path_len : int;
-}
-
-type paced_kind = Paced_dgd of Utility.t | Paced_rcp of float
-
-type paced = {
-  pc_kind : paced_kind;
-  mutable pc_rate : float;  (* bps *)
-  mutable pc_active : bool;  (* pacing chain scheduled *)
-  pc_cap : float;  (* max outstanding bytes: 2 BDP (§6) *)
-}
-
-type dctcp = {
-  mutable dc_cwnd : float;  (* bytes *)
-  mutable dc_alpha : float;
-  mutable dc_marked : int;
-  mutable dc_total : int;
-  mutable dc_next_update : float;
-  mutable dc_slow_start : bool;
-}
-
-type pfab = { pf_window : float }
-
-type proto_state =
-  | Swift of swift
-  | Paced of paced
-  | Dctcp of dctcp
-  | Pfabric of pfab
+(* Generic sender: sequencing, selective repeat, in-flight accounting and
+   the window / pacing send loops. Everything protocol-specific lives in
+   the flow handle the protocol module built for this flow. *)
 
 type sender = {
   flow : int;
@@ -68,7 +24,7 @@ type sender = {
   n_packets : int;  (* -1 for persistent *)
   d0 : float;
   line_rate : float;
-  state : proto_state;
+  mutable handle : Protocol.flow_handle;
   acked : bool array;  (* empty for persistent flows *)
   inflight_seqs : (int, unit) Hashtbl.t;
   resend : int Queue.t;
@@ -80,7 +36,18 @@ type sender = {
   mutable is_complete : bool;
   mutable last_progress : float;
   mutable rto_running : bool;
+  mutable pace_active : bool;  (* pacing chain scheduled *)
 }
+
+let null_handle =
+  {
+    Protocol.fh_discipline = Protocol.Windowed (fun () -> 0.);
+    fh_on_send = ignore;
+    fh_on_ack = ignore;
+    fh_rto = 1.;
+    fh_window = (fun () -> None);
+    fh_rate_estimate = (fun () -> None);
+  }
 
 let persistent s = s.n_packets < 0
 
@@ -90,7 +57,11 @@ let completed s = s.is_complete
 
 let acked_bytes s = float_of_int s.acked_count *. mss_f
 
-let make_sender ctx ~flow ~path ~size ~d0 ~line_rate ~proto =
+let remaining_bytes s =
+  if persistent s then infinity
+  else Float.max mss_f (s.size -. acked_bytes s)
+
+let make_sender ctx ~flow ~path ~size ~d0 ~line_rate ~protocol ~utility =
   if Array.length path = 0 then invalid_arg "Host.make_sender: empty path";
   if not (line_rate > 0.) then invalid_arg "Host.make_sender: bad line rate";
   let n_packets =
@@ -98,91 +69,48 @@ let make_sender ctx ~flow ~path ~size ~d0 ~line_rate ~proto =
       Stdlib.max 1 (int_of_float (ceil (size /. mss_f)))
     else -1
   in
-  let state =
-    match proto with
-    | Proto_numfabric u ->
-      Swift
-        {
-          sw_utility = u;
-          sw_srpt_eps = None;
-          sw_rate = Ewma.timed ~tau:ctx.cfg.Config.ewma_time;
-          (* Before any price feedback, a weight on the scale of the line
-             rate keeps virtual packet lengths commensurate with later
-             (rate-scaled) weights. *)
-          sw_weight = line_rate;
-          sw_window = float_of_int ctx.cfg.Config.init_burst *. mss_f;
-          sw_price = 0.;
-          sw_path_len = Array.length path;
-        }
-    | Proto_numfabric_srpt eps ->
-      if not (Float.is_finite size) then
-        invalid_arg "Host.make_sender: SRPT weights need a finite flow size";
-      Swift
-        {
-          sw_utility = Utility.fct_remaining ~remaining:size ~eps;
-          sw_srpt_eps = Some eps;
-          sw_rate = Ewma.timed ~tau:ctx.cfg.Config.ewma_time;
-          sw_weight = line_rate;
-          sw_window = float_of_int ctx.cfg.Config.init_burst *. mss_f;
-          sw_price = 0.;
-          sw_path_len = Array.length path;
-        }
-    | Proto_dgd u ->
-      Paced
-        {
-          pc_kind = Paced_dgd u;
-          pc_rate = line_rate;
-          pc_active = false;
-          pc_cap = 2. *. line_rate *. d0 /. 8.;
-        }
-    | Proto_rcp alpha ->
-      Paced
-        {
-          pc_kind = Paced_rcp alpha;
-          pc_rate = line_rate /. 10.;
-          pc_active = false;
-          pc_cap = 2. *. line_rate *. d0 /. 8.;
-        }
-    | Proto_dctcp ->
-      Dctcp
-        {
-          dc_cwnd = 10. *. mss_f;
-          dc_alpha = 0.;
-          dc_marked = 0;
-          dc_total = 0;
-          dc_next_update = 0.;
-          dc_slow_start = true;
-        }
-    | Proto_pfabric ->
-      Pfabric { pf_window = Float.max mss_f (line_rate *. d0 /. 8.) }
+  let s =
+    {
+      flow;
+      path;
+      size;
+      n_packets;
+      d0;
+      line_rate;
+      handle = null_handle;
+      acked = (if n_packets > 0 then Array.make n_packets false else [||]);
+      inflight_seqs = Hashtbl.create 64;
+      resend = Queue.create ();
+      next_unsent = 0;
+      acked_count = 0;
+      inflight = 0.;
+      started = false;
+      stopped = false;
+      is_complete = false;
+      last_progress = 0.;
+      rto_running = false;
+      pace_active = false;
+    }
   in
-  {
-    flow;
-    path;
-    size;
-    n_packets;
-    d0;
-    line_rate;
-    state;
-    acked = (if n_packets > 0 then Array.make n_packets false else [||]);
-    inflight_seqs = Hashtbl.create 64;
-    resend = Queue.create ();
-    next_unsent = 0;
-    acked_count = 0;
-    inflight = 0.;
-    started = false;
-    stopped = false;
-    is_complete = false;
-    last_progress = 0.;
-    rto_running = false;
-  }
+  let env =
+    {
+      Protocol.env_now = ctx.now;
+      env_after = ctx.after;
+      env_cfg = ctx.cfg;
+      env_flow = flow;
+      env_size = size;
+      env_d0 = d0;
+      env_line_rate = line_rate;
+      env_path_hops = Array.length path;
+      env_remaining = (fun () -> remaining_bytes s);
+    }
+  in
+  let module P = (val protocol : Protocol.PROTOCOL) in
+  s.handle <- P.make_flow env ~utility;
+  s
 
 (* --------------------------------------------------------------------- *)
 (* Sending machinery *)
-
-let remaining_bytes s =
-  if persistent s then infinity
-  else Float.max mss_f (s.size -. acked_bytes s)
 
 let next_seq s =
   match Queue.take_opt s.resend with
@@ -198,84 +126,54 @@ let next_seq s =
 let has_next s =
   (not (Queue.is_empty s.resend)) || persistent s || s.next_unsent < s.n_packets
 
-(* §8 extension: model switches that only support a small set of weight
-   classes by rounding the weight to the nearest power of [base]. *)
-let quantize_weight ctx w =
-  match ctx.cfg.Config.weight_quant_base with
-  | None -> w
-  | Some base when base > 1. ->
-    base ** Float.round (log w /. log base)
-  | Some _ -> w
-
 let send_one ctx s seq =
   let pkt =
     Packet.make_data ~flow:s.flow ~seq ~size:mss ~path:s.path ~now:(ctx.now ())
   in
-  (match s.state with
-  | Swift sw ->
-    pkt.Packet.virtual_packet_len <-
-      mss_f /. Float.max (quantize_weight ctx sw.sw_weight) 1e-30;
-    (match Ewma.timed_value sw.sw_rate with
-    | Some r when sw.sw_path_len > 0 ->
-      pkt.Packet.normalized_residual <-
-        (sw.sw_utility.Utility.deriv (Float.max r 1.) -. sw.sw_price)
-        /. float_of_int sw.sw_path_len
-    | Some _ | None -> pkt.Packet.normalized_residual <- Float.nan)
-  | Pfabric _ -> pkt.Packet.priority <- remaining_bytes s
-  | Paced _ | Dctcp _ -> ());
+  s.handle.Protocol.fh_on_send pkt;
   s.inflight <- s.inflight +. mss_f;
   if not (persistent s) then Hashtbl.replace s.inflight_seqs seq ();
   ctx.transmit pkt
 
-let window_of s =
-  match s.state with
-  | Swift sw -> Some sw.sw_window
-  | Dctcp dc -> Some dc.dc_cwnd
-  | Pfabric pf -> Some pf.pf_window
-  | Paced _ -> None
+let rec try_send_window ctx s window =
+  if active s && s.inflight < window () && has_next s then begin
+    match next_seq s with
+    | None -> ()
+    | Some seq ->
+      send_one ctx s seq;
+      try_send_window ctx s window
+  end
 
-let rec try_send_window ctx s =
-  match window_of s with
-  | None -> ()
-  | Some w ->
-    if active s && s.inflight < w && has_next s then begin
-      match next_seq s with
-      | None -> ()
-      | Some seq ->
-        send_one ctx s seq;
-        try_send_window ctx s
-    end
-
-let rec pace_loop ctx s p =
-  if active s && s.inflight < p.pc_cap && has_next s then begin
-    (match next_seq s with
-    | None -> p.pc_active <- false
+let rec pace_loop ctx s ~rate ~cap =
+  if active s && s.inflight < cap && has_next s then begin
+    match next_seq s with
+    | None -> s.pace_active <- false
     | Some seq ->
       send_one ctx s seq;
       (* Cap the inter-packet gap: a sender whose advertised rate has
          collapsed must keep probing, or it would never see the feedback
          that lets it recover (rate-based senders deadlock otherwise). *)
-      let gap = Float.min (mss_f *. 8. /. Float.max p.pc_rate 1e3) 200e-6 in
-      ctx.after gap (fun () -> pace_loop ctx s p))
+      let gap = Float.min (mss_f *. 8. /. Float.max (rate ()) 1e3) 200e-6 in
+      ctx.after gap (fun () -> pace_loop ctx s ~rate ~cap)
   end
-  else p.pc_active <- false
+  else s.pace_active <- false
 
-let kick_pacing ctx s p =
-  if (not p.pc_active) && active s then begin
-    p.pc_active <- true;
-    pace_loop ctx s p
-  end
+(* Resume sending per the flow's discipline (after a start, an ACK or an
+   RTO-driven resend). *)
+let wakeup ctx s =
+  match s.handle.Protocol.fh_discipline with
+  | Protocol.Windowed window -> try_send_window ctx s window
+  | Protocol.Paced { rate; cap } ->
+    if (not s.pace_active) && active s then begin
+      s.pace_active <- true;
+      pace_loop ctx s ~rate ~cap
+    end
 
-(* Safety / pFabric retransmission timer: if no progress for [rto], every
-   in-flight packet is assumed lost and queued for resend. *)
-let rto_of ctx s =
-  match s.state with
-  | Pfabric _ -> ctx.cfg.Config.pfabric_rto
-  | Swift _ | Paced _ | Dctcp _ -> Float.max (30. *. s.d0) 1e-3
-
+(* Safety / pFabric retransmission timer: if no progress for [fh_rto],
+   every in-flight packet is assumed lost and queued for resend. *)
 let rec rto_check ctx s =
   if active s then begin
-    let rto = rto_of ctx s in
+    let rto = s.handle.Protocol.fh_rto in
     if s.inflight > 0. && ctx.now () -. s.last_progress >= rto then begin
       if persistent s then s.inflight <- 0.
       else begin
@@ -287,9 +185,7 @@ let rec rto_check ctx s =
         s.inflight <- 0.
       end;
       s.last_progress <- ctx.now ();
-      (match s.state with
-      | Paced p -> kick_pacing ctx s p
-      | Swift _ | Dctcp _ | Pfabric _ -> try_send_window ctx s)
+      wakeup ctx s
     end;
     ctx.after rto (fun () -> rto_check ctx s)
   end
@@ -299,12 +195,10 @@ let start ctx s =
   if not s.started then begin
     s.started <- true;
     s.last_progress <- ctx.now ();
-    (match s.state with
-    | Paced p -> kick_pacing ctx s p
-    | Swift _ | Dctcp _ | Pfabric _ -> try_send_window ctx s);
+    wakeup ctx s;
     if not s.rto_running then begin
       s.rto_running <- true;
-      ctx.after (rto_of ctx s) (fun () -> rto_check ctx s)
+      ctx.after s.handle.Protocol.fh_rto (fun () -> rto_check ctx s)
     end
   end
 
@@ -335,72 +229,12 @@ let register_ack ctx s seq =
   end;
   fresh
 
-let swift_on_ack ctx s sw (pkt : Packet.t) =
-  if pkt.Packet.ack_path_len > 0 then begin
-    sw.sw_price <- pkt.Packet.ack_path_price;
-    sw.sw_path_len <- pkt.Packet.ack_path_len
-  end;
-  (match sw.sw_srpt_eps with
-  | Some eps ->
-    sw.sw_utility <- Utility.fct_remaining ~remaining:(remaining_bytes s) ~eps
-  | None -> ());
-  sw.sw_weight <-
-    Utility.rate_from_price sw.sw_utility
-      (Float.max sw.sw_price Utility.min_price);
-  if Nf_util.Fcmp.is_finite pkt.Packet.ack_ipt && pkt.Packet.ack_ipt > 0. then begin
-    let sample = mss_f *. 8. /. pkt.Packet.ack_ipt in
-    Ewma.timed_update sw.sw_rate ~now:(ctx.now ()) sample;
-    let r = Ewma.timed_value_exn sw.sw_rate in
-    let w = r *. (s.d0 +. ctx.cfg.Config.dt_slack) /. 8. in
-    sw.sw_window <- Float.max w mss_f
-  end;
-  try_send_window ctx s
-
-let paced_on_ack ctx s p (pkt : Packet.t) =
-  (match p.pc_kind with
-  | Paced_dgd u ->
-    if pkt.Packet.ack_path_len > 0 then begin
-      let price = Float.max pkt.Packet.ack_path_price Utility.min_price in
-      p.pc_rate <-
-        Nf_util.Fcmp.clamp ~lo:1e3 ~hi:s.line_rate (Utility.rate_from_price u price)
-    end
-  | Paced_rcp alpha ->
-    if pkt.Packet.ack_rcp_sum > 0. then begin
-      let r = pkt.Packet.ack_rcp_sum ** (-1. /. alpha) in
-      p.pc_rate <- Nf_util.Fcmp.clamp ~lo:1e3 ~hi:s.line_rate r
-    end);
-  kick_pacing ctx s p
-
-let dctcp_on_ack ctx s dc (pkt : Packet.t) =
-  dc.dc_total <- dc.dc_total + 1;
-  if pkt.Packet.ack_ecn then dc.dc_marked <- dc.dc_marked + 1;
-  if dc.dc_slow_start then begin
-    dc.dc_cwnd <- dc.dc_cwnd +. mss_f;
-    if pkt.Packet.ack_ecn then dc.dc_slow_start <- false
-  end;
-  let now = ctx.now () in
-  if now >= dc.dc_next_update && dc.dc_total > 0 then begin
-    let frac = float_of_int dc.dc_marked /. float_of_int dc.dc_total in
-    let g = ctx.cfg.Config.dctcp_gain in
-    dc.dc_alpha <- ((1. -. g) *. dc.dc_alpha) +. (g *. frac);
-    if dc.dc_marked > 0 then
-      dc.dc_cwnd <- Float.max mss_f (dc.dc_cwnd *. (1. -. (dc.dc_alpha /. 2.)))
-    else if not dc.dc_slow_start then dc.dc_cwnd <- dc.dc_cwnd +. mss_f;
-    dc.dc_marked <- 0;
-    dc.dc_total <- 0;
-    dc.dc_next_update <- now +. s.d0
-  end;
-  try_send_window ctx s
-
 let handle_ack ctx s (pkt : Packet.t) =
   if not s.is_complete then begin
     ignore (register_ack ctx s pkt.Packet.seq);
     if not s.is_complete then begin
-      match s.state with
-      | Swift sw -> swift_on_ack ctx s sw pkt
-      | Paced p -> paced_on_ack ctx s p pkt
-      | Dctcp dc -> dctcp_on_ack ctx s dc pkt
-      | Pfabric _ -> try_send_window ctx s
+      s.handle.Protocol.fh_on_ack pkt;
+      wakeup ctx s
     end
   end
 
@@ -413,20 +247,17 @@ type receiver = {
   mutable last_arrival : float;
   mutable recv_bytes : float;
   r_filter : Ewma.timed;
-  r_series : Nf_util.Timeseries.t option;
+  r_sink : (time:float -> float -> unit) option;
 }
 
-let make_receiver ctx ~flow ~rpath ~record =
+let make_receiver ctx ~flow ~rpath ~sink =
   {
     r_flow = flow;
     rpath;
     last_arrival = Float.nan;
     recv_bytes = 0.;
     r_filter = Ewma.timed ~tau:ctx.cfg.Config.rate_measure_tau;
-    r_series =
-      (if record then
-         Some (Nf_util.Timeseries.create ~name:(Printf.sprintf "flow%d" flow) ())
-       else None);
+    r_sink = sink;
   }
 
 let handle_data ctx r (pkt : Packet.t) =
@@ -440,8 +271,8 @@ let handle_data ctx r (pkt : Packet.t) =
   if Nf_util.Fcmp.is_finite ipt && ipt > 0. then begin
     let sample = float_of_int pkt.Packet.size *. 8. /. ipt in
     Ewma.timed_update r.r_filter ~now sample;
-    match r.r_series with
-    | Some ts -> Nf_util.Timeseries.add ts ~time:now (Ewma.timed_value_exn r.r_filter)
+    match r.r_sink with
+    | Some sink -> sink ~time:now (Ewma.timed_value_exn r.r_filter)
     | None -> ()
   end;
   let ack = Packet.make_ack ~data:pkt ~path:r.rpath ~now in
@@ -451,16 +282,10 @@ let handle_data ctx r (pkt : Packet.t) =
 (* --------------------------------------------------------------------- *)
 (* Introspection *)
 
-let swift_window s =
-  match s.state with Swift sw -> Some sw.sw_window | Paced _ | Dctcp _ | Pfabric _ -> None
+let window s = s.handle.Protocol.fh_window ()
 
-let swift_rate_estimate s =
-  match s.state with
-  | Swift sw -> Ewma.timed_value sw.sw_rate
-  | Paced _ | Dctcp _ | Pfabric _ -> None
+let rate_estimate s = s.handle.Protocol.fh_rate_estimate ()
 
 let received_bytes r = r.recv_bytes
 
 let measured_rate r = Ewma.timed_value r.r_filter
-
-let rate_series r = r.r_series

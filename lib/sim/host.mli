@@ -1,23 +1,22 @@
-(** End-host transport implementations.
+(** End-host transport machinery, protocol-agnostic.
 
     One {!sender} and one {!receiver} exist per flow. The network layer
     owns packet forwarding and calls {!handle_data} / {!handle_ack} when
-    packets reach their destination host. Five protocols are implemented:
+    packets reach their destination host.
 
-    - {!proto_numfabric}: Swift rate control (packet-pair rate estimation,
-      EWMA, window = R * (d0 + dt)) + xWI weight/residual computation —
-      the full NUMFabric sender of §5;
-    - {!proto_dgd}: rate-paced DGD sender (Eq. 3 rates from path prices,
-      outstanding bytes capped at 2 BDP as in §6);
-    - {!proto_rcp}: RCP* sender (Eq. 16 rates), same pacing/cap;
-    - {!proto_dctcp}: DCTCP (ECN-fraction window adaptation);
-    - {!proto_pfabric}: pFabric sender (BDP window, remaining-size packet
-      priorities, aggressive RTO-driven retransmission).
+    This module implements everything the transports share — sequencing,
+    selective-repeat reliability with a progress timeout, in-flight
+    accounting, and the two send loops (window-clocked and rate-paced).
+    Everything protocol-specific (sender state, header stamping, ACK
+    processing, the choice of loop) comes from the
+    {!Protocol.flow_handle} built by the flow's protocol module; see
+    [Proto_swift], [Proto_dgd], [Proto_rcp], [Proto_dctcp] and
+    [Proto_pfabric] for the implementations.
 
     All flows use fixed 1500-byte data packets; a flow of [size] bytes is
-    [ceil (size / 1500)] packets. Reliability is selective-repeat with a
-    coarse safety RTO (loss is rare for every protocol except pFabric,
-    whose priority-drop queues rely on it). *)
+    [ceil (size / 1500)] packets. Loss is rare for every protocol except
+    pFabric, whose priority-drop queues rely on the retransmission
+    timer. *)
 
 type ctx = {
   now : unit -> float;
@@ -26,17 +25,6 @@ type ctx = {
   complete : int -> unit;  (** called once when a finite flow finishes *)
   cfg : Config.t;
 }
-
-type proto =
-  | Proto_numfabric of Nf_num.Utility.t
-  | Proto_numfabric_srpt of float
-      (** NUMFabric with the SRPT-approximating utility: weights re-derived
-          from the flow's {e remaining} size on every ACK (§2). The float
-          is ε. Requires a finite flow size. *)
-  | Proto_dgd of Nf_num.Utility.t
-  | Proto_rcp of float  (** alpha *)
-  | Proto_dctcp
-  | Proto_pfabric
 
 type sender
 
@@ -49,13 +37,23 @@ val make_sender :
   size:float ->
   d0:float ->
   line_rate:float ->
-  proto:proto ->
+  protocol:Protocol.t ->
+  utility:Nf_num.Utility.t option ->
   sender
 (** [size] in bytes ([infinity] for a persistent flow); [d0] the baseline
-    RTT (§4.1); [line_rate] the minimum capacity along the path. *)
+    RTT (§4.1); [line_rate] the minimum capacity along the path. The
+    protocol module validates [utility] and the flow spec.
+    @raise Invalid_argument on an empty path, a non-positive line rate,
+    or a spec the protocol rejects. *)
 
 val make_receiver :
-  ctx -> flow:int -> rpath:int array -> record:bool -> receiver
+  ctx ->
+  flow:int ->
+  rpath:int array ->
+  sink:(time:float -> float -> unit) option ->
+  receiver
+(** [sink], when given, receives every receiver-side EWMA rate sample
+    (typically the flow's {!Record} rate channel). *)
 
 val start : ctx -> sender -> unit
 (** Begin transmission (Swift: the initial 3-packet burst). *)
@@ -73,16 +71,13 @@ val completed : sender -> bool
 
 val acked_bytes : sender -> float
 
-val swift_window : sender -> float option
-(** Current Swift window in bytes (NUMFabric flows only). *)
+val window : sender -> float option
+(** Current congestion window in bytes (window-clocked protocols only). *)
 
-val swift_rate_estimate : sender -> float option
-(** Swift's EWMA available-bandwidth estimate R, bps. *)
+val rate_estimate : sender -> float option
+(** The sender's own rate estimate, bps (protocols that keep one). *)
 
 val received_bytes : receiver -> float
 
 val measured_rate : receiver -> float option
 (** Receiver-side EWMA rate estimate (tau = [cfg.rate_measure_tau]). *)
-
-val rate_series : receiver -> Nf_util.Timeseries.t option
-(** Present when the receiver was created with [record:true]. *)

@@ -2,14 +2,6 @@ module Topology = Nf_topo.Topology
 module Routing = Nf_topo.Routing
 module Sim = Nf_engine.Sim
 
-type protocol =
-  | Numfabric
-  | Numfabric_srpt of { eps : float }
-  | Dgd
-  | Rcp of { alpha : float }
-  | Dctcp
-  | Pfabric
-
 type flow_spec = {
   fs_id : int;
   fs_src : int;
@@ -42,21 +34,23 @@ type link_state = {
 type t = {
   sim : Sim.t;
   topo : Topology.t;
-  protocol : protocol;
+  protocol : Protocol.t;
   config : Config.t;
   links : link_state array;
   senders : (int, Host.sender) Hashtbl.t;
   receivers : (int, Host.receiver) Hashtbl.t;
   paths : (int, int array) Hashtbl.t;
   rtts : (int, float) Hashtbl.t;
-  mutable done_flows : (int * float) list;  (* (flow, fct), reverse order *)
   starts : (int, float) Hashtbl.t;
-  queue_monitors : (int, Nf_util.Timeseries.t) Hashtbl.t;
-  price_monitors : (int, Nf_util.Timeseries.t) Hashtbl.t;
+  record : Record.t;
   ctx : Host.ctx;
 }
 
 let sim t = t.sim
+
+let protocol t = t.protocol
+
+let record t = t.record
 
 (* ------------------------------------------------------------------ *)
 (* Link transmission machinery *)
@@ -108,56 +102,26 @@ let transmit t pkt = forward t pkt pkt.Packet.path.(0)
 (* ------------------------------------------------------------------ *)
 (* Construction *)
 
-let make_link_state config protocol (link : Topology.link) =
-  let c = link.Topology.capacity in
-  match protocol with
-  | Numfabric | Numfabric_srpt _ ->
-    let qdisc = Queue_disc.stfq ~limit_bytes:config.Config.buffer_bytes () in
-    let engine =
-      Price_engine.xwi ~eta:config.Config.eta ~beta:config.Config.beta
-        ~interval:config.Config.price_update_interval ~capacity:c ()
-    in
-    { link; qdisc; engine; busy = false; delivered = 0. }
-  | Dgd ->
-    let qdisc = Queue_disc.fifo ~limit_bytes:config.Config.buffer_bytes () in
-    let engine =
-      Price_engine.dgd ~gain_util:config.Config.dgd_gain_util
-        ~gain_queue:config.Config.dgd_gain_queue
-        ~interval:config.Config.dgd_update_interval ~capacity:c
-        ~queue_bytes:qdisc.Queue_disc.byte_length
-        ~price_scale:config.Config.dgd_price_scale ()
-    in
-    { link; qdisc; engine; busy = false; delivered = 0. }
-  | Rcp { alpha } ->
-    let qdisc = Queue_disc.fifo ~limit_bytes:config.Config.buffer_bytes () in
-    let engine =
-      Price_engine.rcp ~gain_spare:config.Config.rcp_gain_spare
-        ~gain_queue:config.Config.rcp_gain_queue
-        ~interval:config.Config.rcp_update_interval
-        ~mean_rtt:config.Config.rcp_mean_rtt ~alpha ~capacity:c
-        ~queue_bytes:qdisc.Queue_disc.byte_length ~initial_fair_rate:c ()
-    in
-    { link; qdisc; engine; busy = false; delivered = 0. }
-  | Dctcp ->
-    let qdisc =
-      Queue_disc.ecn_fifo ~limit_bytes:config.Config.buffer_bytes
-        ~mark_threshold_bytes:config.Config.dctcp_mark_threshold ()
-    in
-    { link; qdisc; engine = Price_engine.none; busy = false; delivered = 0. }
-  | Pfabric ->
-    let qdisc =
-      Queue_disc.pfabric ~limit_bytes:config.Config.pfabric_buffer_bytes ()
-    in
-    { link; qdisc; engine = Price_engine.none; busy = false; delivered = 0. }
-
-let has_engine = function
-  | Numfabric | Numfabric_srpt _ | Dgd | Rcp _ -> true
-  | Dctcp | Pfabric -> false
-
-let create ?(config = Config.default) ~topology ~protocol () =
+let create ?(config = Config.default) ?record ~topology ~protocol () =
+  let module P = (val protocol : Protocol.PROTOCOL) in
   let sim = Sim.create () in
+  let record =
+    match record with
+    | Some r -> r
+    | None -> Record.create ()
+  in
   let links =
-    Array.map (make_link_state config protocol) (Topology.links topology)
+    Array.map
+      (fun link ->
+        let lh = P.make_link config ~capacity:link.Topology.capacity in
+        {
+          link;
+          qdisc = lh.Protocol.lh_qdisc;
+          engine = lh.Protocol.lh_engine;
+          busy = false;
+          delivered = 0.;
+        })
+      (Topology.links topology)
   in
   let rec t =
     {
@@ -170,10 +134,8 @@ let create ?(config = Config.default) ~topology ~protocol () =
       receivers = Hashtbl.create 256;
       paths = Hashtbl.create 256;
       rtts = Hashtbl.create 256;
-      done_flows = [];
       starts = Hashtbl.create 256;
-      queue_monitors = Hashtbl.create 8;
-      price_monitors = Hashtbl.create 8;
+      record;
       ctx =
         {
           Host.now = (fun () -> Sim.now sim);
@@ -186,23 +148,19 @@ let create ?(config = Config.default) ~topology ~protocol () =
                 | Some s -> s
                 | None -> 0.
               in
-              t.done_flows <- (flow_id, Sim.now sim -. start) :: t.done_flows);
+              let now = Sim.now sim in
+              Record.complete t.record ~flow:flow_id ~at:now
+                ~fct:(now -. start));
           cfg = config;
         };
     }
   in
   (* Synchronized periodic feedback updates on every link (§5: PTP). *)
-  if has_engine protocol then begin
-    let interval =
-      match protocol with
-      | Numfabric | Numfabric_srpt _ -> config.Config.price_update_interval
-      | Dgd -> config.Config.dgd_update_interval
-      | Rcp _ -> config.Config.rcp_update_interval
-      | Dctcp | Pfabric -> 1.
-    in
+  (match P.update_interval config with
+  | Some interval ->
     Sim.periodic sim ~start:interval ~interval (fun () ->
         Array.iter (fun ls -> ls.engine.Price_engine.update ()) links)
-  end;
+  | None -> ());
   t
 
 (* Baseline RTT d0: propagation both ways plus one serialization per hop
@@ -231,17 +189,6 @@ let reverse_path t fwd =
   done;
   rev
 
-let proto_of t spec =
-  match (t.protocol, spec.fs_utility) with
-  | Numfabric, Some u -> Host.Proto_numfabric u
-  | Numfabric, None -> invalid_arg "Network.add_flow: NUMFabric flow needs a utility"
-  | Numfabric_srpt { eps }, _ -> Host.Proto_numfabric_srpt eps
-  | Dgd, Some u -> Host.Proto_dgd u
-  | Dgd, None -> invalid_arg "Network.add_flow: DGD flow needs a utility"
-  | Rcp { alpha }, _ -> Host.Proto_rcp alpha
-  | Dctcp, _ -> Host.Proto_dctcp
-  | Pfabric, _ -> Host.Proto_pfabric
-
 let add_flow t spec =
   if Hashtbl.mem t.senders spec.fs_id then
     invalid_arg "Network.add_flow: duplicate flow id";
@@ -268,12 +215,15 @@ let add_flow t spec =
   let line_rate = Topology.path_min_capacity t.topo (Array.to_list path) in
   let sender =
     Host.make_sender t.ctx ~flow:spec.fs_id ~path ~size:spec.fs_size ~d0
-      ~line_rate ~proto:(proto_of t spec)
+      ~line_rate ~protocol:t.protocol ~utility:spec.fs_utility
   in
-  let receiver =
-    Host.make_receiver t.ctx ~flow:spec.fs_id ~rpath
-      ~record:t.config.Config.record_rates
+  let sink =
+    if t.config.Config.record_rates then
+      Some
+        (fun ~time v -> Record.add t.record Record.Rate ~subject:spec.fs_id ~time v)
+    else None
   in
+  let receiver = Host.make_receiver t.ctx ~flow:spec.fs_id ~rpath ~sink in
   Hashtbl.replace t.senders spec.fs_id sender;
   Hashtbl.replace t.receivers spec.fs_id receiver;
   Hashtbl.replace t.paths spec.fs_id path;
@@ -296,20 +246,16 @@ let measured_rate t id =
   | None -> None
   | Some r -> Host.measured_rate r
 
-let rate_series t id =
-  match Hashtbl.find_opt t.receivers id with
-  | None -> None
-  | Some r -> Host.rate_series r
+let rate_series t id = Record.find t.record Record.Rate ~subject:id
 
 let received_bytes t id =
   match Hashtbl.find_opt t.receivers id with
   | None -> 0.
   | Some r -> Host.received_bytes r
 
-let fct t id =
-  List.assoc_opt id t.done_flows
+let fct t id = Record.fct t.record id
 
-let completions t = List.rev t.done_flows
+let completions t = Record.completions t.record
 
 let queue_bytes t ~link = t.links.(link).qdisc.Queue_disc.byte_length ()
 
@@ -324,31 +270,24 @@ let monitor_links t ~links ~every =
   List.iter
     (fun link ->
       if link < 0 || link >= Array.length t.links then
-        invalid_arg "Network.monitor_links: bad link id";
-      let qs = Nf_util.Timeseries.create ~name:(Printf.sprintf "queue-%d" link) () in
-      let ps = Nf_util.Timeseries.create ~name:(Printf.sprintf "price-%d" link) () in
-      Hashtbl.replace t.queue_monitors link qs;
-      Hashtbl.replace t.price_monitors link ps)
+        invalid_arg "Network.monitor_links: bad link id")
     links;
   Sim.periodic t.sim ~interval:every (fun () ->
       let now = Sim.now t.sim in
       List.iter
         (fun link ->
           let ls = t.links.(link) in
-          (match Hashtbl.find_opt t.queue_monitors link with
-          | Some qs ->
-            Nf_util.Timeseries.add qs ~time:now
-              (float_of_int (ls.qdisc.Queue_disc.byte_length ()))
-          | None -> ());
-          match Hashtbl.find_opt t.price_monitors link with
-          | Some ps ->
-            Nf_util.Timeseries.add ps ~time:now (ls.engine.Price_engine.value ())
-          | None -> ())
+          Record.add t.record Record.Queue ~subject:link ~time:now
+            (float_of_int (ls.qdisc.Queue_disc.byte_length ()));
+          Record.add t.record Record.Price ~subject:link ~time:now
+            (ls.engine.Price_engine.value ());
+          Record.add t.record Record.Drops ~subject:link ~time:now
+            (float_of_int (ls.qdisc.Queue_disc.drops ())))
         links)
 
-let queue_series t ~link = Hashtbl.find_opt t.queue_monitors link
+let queue_series t ~link = Record.find t.record Record.Queue ~subject:link
 
-let price_series t ~link = Hashtbl.find_opt t.price_monitors link
+let price_series t ~link = Record.find t.record Record.Price ~subject:link
 
 let flow_path t id =
   match Hashtbl.find_opt t.paths id with

@@ -1,28 +1,21 @@
 (** The packet-level network simulator: wires a {!Nf_topo.Topology.t},
-    per-link queues and price engines, and per-flow host transports into a
-    single discrete-event simulation.
+    per-link queues and feedback engines, and per-flow host transports
+    into a single discrete-event simulation.
 
-    Every directed link runs the queue discipline and feedback engine of
-    the selected protocol (host NIC links included — the first hop is a
-    scheduling point like any switch port):
-
-    - NUMFabric: STFQ queues + xWI price engines (Fig. 3);
-    - DGD / RCP*: FIFO queues + the respective price/fair-rate engines;
-    - DCTCP: ECN-marking FIFO queues;
-    - pFabric: small priority-drop queues.
+    The network layer is protocol-agnostic: every directed link (host NIC
+    links included — the first hop is a scheduling point like any switch
+    port) runs the queue discipline and feedback engine built by the
+    {!Protocol.t} the network was created with, and each flow's sender is
+    driven by the hooks that protocol builds per flow. Use
+    {!Protocols.get} to look a protocol up by name.
 
     Flows are source-routed: each flow's path is fixed at creation (ECMP
-    hash of the flow id by default). ACKs travel the reverse path. *)
+    hash of the flow id by default). ACKs travel the reverse path.
 
-type protocol =
-  | Numfabric
-  | Numfabric_srpt of { eps : float }
-      (** NUMFabric with remaining-size (SRPT) weights; flows need finite
-          sizes and no utility (it is derived from the remaining size) *)
-  | Dgd
-  | Rcp of { alpha : float }
-  | Dctcp
-  | Pfabric
+    Every measurement a run emits — queue/price/drops samples from
+    {!monitor_links}, per-flow rates when [config.record_rates], flow
+    completions — lands in the network's {!Record.t} ({!record}), which
+    can be shared across networks or exported. *)
 
 type flow_spec = {
   fs_id : int;  (** unique flow id *)
@@ -32,7 +25,7 @@ type flow_spec = {
   fs_start : float;  (** seconds *)
   fs_path : int array option;  (** pinned path; default ECMP by id hash *)
   fs_utility : Nf_num.Utility.t option;
-    (** required for [Numfabric] and [Dgd] *)
+    (** required when {!Protocol.needs_utility} *)
 }
 
 val flow :
@@ -50,15 +43,27 @@ val flow :
 type t
 
 val create :
-  ?config:Config.t -> topology:Nf_topo.Topology.t -> protocol:protocol -> unit -> t
+  ?config:Config.t ->
+  ?record:Record.t ->
+  topology:Nf_topo.Topology.t ->
+  protocol:Protocol.t ->
+  unit ->
+  t
+(** [record] lets several networks write into one shared record; by
+    default each network gets a fresh one. *)
 
 val sim : t -> Nf_engine.Sim.t
+
+val protocol : t -> Protocol.t
+
+val record : t -> Record.t
 
 val add_flow : t -> flow_spec -> unit
 (** Registers the flow and schedules its start. Must be called before the
     simulation clock passes [fs_start].
-    @raise Invalid_argument on duplicate ids, non-host endpoints, missing
-    utility, or an invalid pinned path. *)
+    @raise Invalid_argument on duplicate ids, non-host endpoints, an
+    invalid pinned path, or a spec the protocol rejects (e.g. a missing
+    utility). *)
 
 val stop_flow_at : t -> id:int -> float -> unit
 (** Schedule a (persistent) flow to stop sending at the given time. *)
@@ -94,9 +99,10 @@ val link_price : t -> link:int -> float
 val link_delivered_bytes : t -> link:int -> float
 
 val monitor_links : t -> links:int list -> every:float -> unit
-(** Start sampling the queue occupancy (bytes) and feedback value (price /
-    fair rate) of the given links every [every] seconds; call before
-    {!run}. Safe to call once per network. *)
+(** Start sampling the queue occupancy (bytes), feedback value (price /
+    fair rate) and cumulative drop counter of the given links every
+    [every] seconds into the record's Queue / Price / Drops channels;
+    call before {!run}. Safe to call once per network. *)
 
 val queue_series : t -> link:int -> Nf_util.Timeseries.t option
 (** Samples recorded by {!monitor_links} ([None] if not monitored). *)

@@ -1,0 +1,4 @@
+(** DCTCP baseline: ECN-threshold FIFO queues and windowed senders with
+    proportional multiplicative decrease. Ignores per-flow utilities. *)
+
+val protocol : Protocol.t

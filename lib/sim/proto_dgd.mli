@@ -1,0 +1,4 @@
+(** DGD baseline (§3.1, Eq. 14): per-link dual-gradient prices, senders
+    paced at the demand-function rate. Needs a per-flow utility. *)
+
+val protocol : Protocol.t

@@ -1,0 +1,5 @@
+(** pFabric baseline: priority-drop queues ranked on remaining flow size,
+    one-BDP windows at line rate, aggressive RTO
+    ([config.pfabric.pfabric_rto]). Ignores per-flow utilities. *)
+
+val protocol : Protocol.t

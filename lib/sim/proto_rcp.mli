@@ -1,0 +1,5 @@
+(** RCP* baseline (§3.1, Eq. 15): advertised per-link fair rates,
+    alpha-fair allocations only ([config.rcp.rcp_alpha]). Ignores
+    per-flow utilities. *)
+
+val protocol : Protocol.t

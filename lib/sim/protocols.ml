@@ -1,0 +1,26 @@
+let builtins =
+  [
+    Proto_swift.numfabric;
+    Proto_swift.numfabric_srpt;
+    Proto_dgd.protocol;
+    Proto_rcp.protocol;
+    Proto_dctcp.protocol;
+    Proto_pfabric.protocol;
+  ]
+
+(* Registration happens here, not in the defining modules: OCaml only runs
+   a module's initializer if something links against it, and this module —
+   the public lookup path — references them all. *)
+let () = List.iter Protocol.register builtins
+
+let find = Protocol.find
+
+let names = Protocol.names
+
+let get name =
+  match find name with
+  | Some p -> p
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown protocol %S (known: %s)" name
+         (String.concat ", " (names ())))

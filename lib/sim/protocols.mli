@@ -1,0 +1,17 @@
+(** The built-in protocols, registered.
+
+    Linking this module guarantees all six built-ins are in the
+    {!Protocol} registry; use it (rather than {!Protocol.find}) as the
+    lookup entry point. *)
+
+val builtins : Protocol.t list
+(** numfabric, numfabric-srpt, dgd, rcp, dctcp, pfabric. *)
+
+val find : string -> Protocol.t option
+
+val get : string -> Protocol.t
+(** @raise Invalid_argument on an unknown name (the message lists the
+    registered names). *)
+
+val names : unit -> string list
+(** Registered names (built-ins plus any externally registered), sorted. *)

@@ -1,0 +1,122 @@
+module Timeseries = Nf_util.Timeseries
+
+type channel = Queue | Price | Rate | Drops | Fct
+
+let channel_name = function
+  | Queue -> "queue"
+  | Price -> "price"
+  | Rate -> "rate"
+  | Drops -> "drops"
+  | Fct -> "fct"
+
+let all_channels = [ Queue; Price; Rate; Drops; Fct ]
+
+type t = {
+  tables : (channel, (int, Timeseries.t) Hashtbl.t) Hashtbl.t;
+  mutable done_flows : (int * float) list;  (* (flow, fct), reverse order *)
+}
+
+let create () = { tables = Hashtbl.create 8; done_flows = [] }
+
+let table t channel =
+  match Hashtbl.find_opt t.tables channel with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Hashtbl.create 8 in
+    Hashtbl.replace t.tables channel tbl;
+    tbl
+
+let series t channel ~subject =
+  let tbl = table t channel in
+  match Hashtbl.find_opt tbl subject with
+  | Some ts -> ts
+  | None ->
+    let ts =
+      Timeseries.create
+        ~name:(Printf.sprintf "%s-%d" (channel_name channel) subject)
+        ()
+    in
+    Hashtbl.replace tbl subject ts;
+    ts
+
+let find t channel ~subject =
+  match Hashtbl.find_opt t.tables channel with
+  | None -> None
+  | Some tbl -> Hashtbl.find_opt tbl subject
+
+let add t channel ~subject ~time v =
+  Timeseries.add (series t channel ~subject) ~time v
+
+let subjects t channel =
+  match Hashtbl.find_opt t.tables channel with
+  | None -> []
+  | Some tbl -> List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+
+let complete t ~flow ~at ~fct =
+  t.done_flows <- (flow, fct) :: t.done_flows;
+  add t Fct ~subject:flow ~time:at fct
+
+let completions t = List.rev t.done_flows
+
+let fct t flow = List.assoc_opt flow t.done_flows
+
+(* ------------------------------------------------------------------ *)
+(* Export *)
+
+let json_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let to_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"channels\": {";
+  List.iteri
+    (fun ci channel ->
+      if ci > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (Printf.sprintf "%S: [" (channel_name channel));
+      List.iteri
+        (fun si subject ->
+          if si > 0 then Buffer.add_string buf ", ";
+          let ts = series t channel ~subject in
+          Buffer.add_string buf (Printf.sprintf "{\"subject\": %d, \"samples\": [" subject);
+          List.iteri
+            (fun i (time, v) ->
+              if i > 0 then Buffer.add_string buf ", ";
+              Buffer.add_string buf
+                (Printf.sprintf "[%s, %s]" (json_float time) (json_float v)))
+            (Timeseries.to_list ts);
+          Buffer.add_string buf "]}")
+        (subjects t channel);
+      Buffer.add_string buf "]")
+    all_channels;
+  Buffer.add_string buf "}}";
+  Buffer.contents buf
+
+let to_csv t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "channel,subject,time,value\n";
+  List.iter
+    (fun channel ->
+      List.iter
+        (fun subject ->
+          let ts = series t channel ~subject in
+          List.iter
+            (fun (time, v) ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s,%d,%.17g,%.17g\n" (channel_name channel)
+                   subject time v))
+            (Timeseries.to_list ts))
+        (subjects t channel))
+    all_channels;
+  Buffer.contents buf
+
+let write_file ~path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let write_json t ~path = write_file ~path (to_json t)
+
+let write_csv t ~path = write_file ~path (to_csv t)

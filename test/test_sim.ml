@@ -1,5 +1,5 @@
-(* Tests for nf_sim: queue disciplines, price engines, and end-to-end
-   packet-level behaviour of all five transports. *)
+(* Tests for nf_sim: queue disciplines, price engines, the protocol
+   registry, and end-to-end packet-level behaviour of all transports. *)
 
 module Packet = Nf_sim.Packet
 module Queue_disc = Nf_sim.Queue_disc
@@ -8,6 +8,8 @@ module Network = Nf_sim.Network
 module Builders = Nf_topo.Builders
 module Utility = Nf_num.Utility
 module Fcmp = Nf_util.Fcmp
+
+let proto = Nf_sim.Protocols.get
 
 let quick name f = Alcotest.test_case name `Quick f
 
@@ -134,6 +136,85 @@ let test_pfabric_same_flow_in_order () =
   | Some p -> Alcotest.(check int) "earliest of the flow" 0 p.Packet.seq
   | None -> Alcotest.fail "empty"
 
+let test_stfq_weight_change_ordering () =
+  (* Start tags are S = max(V, F_prev(flow)); a mid-stream weight change
+     (vpl 1500 -> 500 on flow 1) affects only the tags assigned after it.
+     With everything enqueued at V = 0:
+       flow 0 (vpl 1500 throughout):        S = 0, 1500, 3000, 4500
+       flow 1 (vpl 1500, 1500 then 500, 500): S = 0, 1500, 3000, 3500
+     so flow 1's last packet must be served before flow 0's last, while
+     each flow's packets still leave in sequence order. *)
+  let q = Queue_disc.stfq () in
+  for i = 0 to 3 do
+    ignore (q.Queue_disc.enqueue (mk ~flow:0 ~seq:i ~vpl:1500. ()));
+    let vpl = if i < 2 then 1500. else 500. in
+    ignore (q.Queue_disc.enqueue (mk ~flow:1 ~seq:i ~vpl ()))
+  done;
+  let served = ref [] in
+  let rec drain () =
+    match q.Queue_disc.dequeue () with
+    | Some p ->
+      served := (p.Packet.flow, p.Packet.seq) :: !served;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  let served = List.rev !served in
+  Alcotest.(check int) "all served" 8 (List.length served);
+  let pos x =
+    let rec go i = function
+      | [] -> Alcotest.failf "packet (%d, %d) never served" (fst x) (snd x)
+      | y :: _ when y = x -> i
+      | _ :: tl -> go (i + 1) tl
+    in
+    go 0 served
+  in
+  Alcotest.(check bool) "re-weighted flow finishes first" true
+    (pos (1, 3) < pos (0, 3));
+  List.iter
+    (fun f ->
+      let seqs =
+        List.filter_map (fun (fl, s) -> if fl = f then Some s else None) served
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "flow %d in order" f)
+        [ 0; 1; 2; 3 ] seqs)
+    [ 0; 1 ]
+
+let test_fifo_drop_accounting () =
+  (* Both FIFO variants count every rejected packet and never hold more
+     than limit_bytes. 10 x 1500 B against a 6000 B limit: 4 fit. *)
+  List.iter
+    (fun (label, q) ->
+      let accepted = ref 0 in
+      for i = 1 to 10 do
+        if q.Queue_disc.enqueue (mk ~seq:i ()) then incr accepted
+      done;
+      Alcotest.(check int) (label ^ ": accepted") 4 !accepted;
+      Alcotest.(check int) (label ^ ": drops") 6 (q.Queue_disc.drops ());
+      Alcotest.(check bool) (label ^ ": within limit") true
+        (q.Queue_disc.byte_length () <= 6000))
+    [
+      ("fifo", Queue_disc.fifo ~limit_bytes:6000 ());
+      ("ecn_fifo", Queue_disc.ecn_fifo ~limit_bytes:6000 ~mark_threshold_bytes:3000 ());
+    ]
+
+let test_drops_counter_monotone () =
+  (* The drops counter never decreases (dequeues must not "refund" drops)
+     and ends exactly equal to the number of rejected enqueues. *)
+  let q = Queue_disc.fifo ~limit_bytes:3000 () in
+  let rejected = ref 0 in
+  let last = ref 0 in
+  for i = 1 to 30 do
+    if not (q.Queue_disc.enqueue (mk ~seq:i ())) then incr rejected;
+    let d = q.Queue_disc.drops () in
+    Alcotest.(check bool) "monotone" true (d >= !last);
+    last := d;
+    if i mod 3 = 0 then ignore (q.Queue_disc.dequeue ())
+  done;
+  Alcotest.(check int) "drops = rejections" !rejected (q.Queue_disc.drops ());
+  Alcotest.(check bool) "some drops happened" true (!rejected > 0)
+
 (* ------------------------------------------------------------------ *)
 (* Price engines *)
 
@@ -205,7 +286,7 @@ let rate net id =
 
 let test_numfabric_single_bottleneck () =
   let sb = Builders.single_bottleneck ~n_senders:2 () in
-  let net = Network.create ~topology:sb.Builders.sb_topo ~protocol:Network.Numfabric () in
+  let net = Network.create ~topology:sb.Builders.sb_topo ~protocol:(proto "numfabric") () in
   let u = Utility.proportional_fair () in
   Array.iteri
     (fun i s ->
@@ -222,7 +303,7 @@ let test_numfabric_single_bottleneck () =
 
 let test_numfabric_weighted () =
   let sb = Builders.single_bottleneck ~n_senders:2 () in
-  let net = Network.create ~topology:sb.Builders.sb_topo ~protocol:Network.Numfabric () in
+  let net = Network.create ~topology:sb.Builders.sb_topo ~protocol:(proto "numfabric") () in
   Network.add_flow net
     (Network.flow
        ~utility:(Utility.proportional_fair ~weight:1. ())
@@ -241,7 +322,7 @@ let test_numfabric_parking_lot_optimum () =
      actually steer Swift away from plain fair queueing. *)
   let pl = Builders.parking_lot ~n_links:2 () in
   let h = pl.Builders.pl_hosts in
-  let net = Network.create ~topology:pl.Builders.pl_topo ~protocol:Network.Numfabric () in
+  let net = Network.create ~topology:pl.Builders.pl_topo ~protocol:(proto "numfabric") () in
   let u () = Utility.proportional_fair () in
   Network.add_flow net (Network.flow ~utility:(u ()) ~id:0 ~src:h.(0) ~dst:h.(2) ());
   Network.add_flow net (Network.flow ~utility:(u ()) ~id:1 ~src:h.(0) ~dst:h.(1) ());
@@ -256,7 +337,7 @@ let test_numfabric_alpha2_packet () =
      Exercises the small-price regime (p* ~ 1e-20). *)
   let pl = Builders.parking_lot ~n_links:2 () in
   let h = pl.Builders.pl_hosts in
-  let net = Network.create ~topology:pl.Builders.pl_topo ~protocol:Network.Numfabric () in
+  let net = Network.create ~topology:pl.Builders.pl_topo ~protocol:(proto "numfabric") () in
   let u () = Utility.alpha_fair ~alpha:2. () in
   Network.add_flow net (Network.flow ~utility:(u ()) ~id:0 ~src:h.(0) ~dst:h.(2) ());
   Network.add_flow net (Network.flow ~utility:(u ()) ~id:1 ~src:h.(0) ~dst:h.(1) ());
@@ -268,7 +349,7 @@ let test_numfabric_alpha2_packet () =
 
 let test_flow_completion () =
   let sb = Builders.single_bottleneck ~n_senders:1 () in
-  let net = Network.create ~topology:sb.Builders.sb_topo ~protocol:Network.Numfabric () in
+  let net = Network.create ~topology:sb.Builders.sb_topo ~protocol:(proto "numfabric") () in
   Network.add_flow net
     (Network.flow
        ~utility:(Utility.proportional_fair ())
@@ -282,7 +363,7 @@ let test_flow_completion () =
 
 let test_stop_flow_releases_bandwidth () =
   let sb = Builders.single_bottleneck ~n_senders:2 () in
-  let net = Network.create ~topology:sb.Builders.sb_topo ~protocol:Network.Numfabric () in
+  let net = Network.create ~topology:sb.Builders.sb_topo ~protocol:(proto "numfabric") () in
   let u () = Utility.proportional_fair () in
   Network.add_flow net
     (Network.flow ~utility:(u ()) ~id:0 ~src:sb.Builders.senders.(0)
@@ -296,7 +377,7 @@ let test_stop_flow_releases_bandwidth () =
 
 let test_dctcp_shares_link () =
   let sb = Builders.single_bottleneck ~n_senders:2 () in
-  let net = Network.create ~topology:sb.Builders.sb_topo ~protocol:Network.Dctcp () in
+  let net = Network.create ~topology:sb.Builders.sb_topo ~protocol:(proto "dctcp") () in
   Array.iteri
     (fun i s ->
       Network.add_flow net (Network.flow ~id:i ~src:s ~dst:sb.Builders.receiver ()))
@@ -311,7 +392,7 @@ let test_dctcp_shares_link () =
 let test_rcp_fair_share () =
   let sb = Builders.single_bottleneck ~n_senders:2 () in
   let net =
-    Network.create ~topology:sb.Builders.sb_topo ~protocol:(Network.Rcp { alpha = 1. }) ()
+    Network.create ~topology:sb.Builders.sb_topo ~protocol:(proto "rcp") ()
   in
   Array.iteri
     (fun i s ->
@@ -323,8 +404,14 @@ let test_rcp_fair_share () =
 
 let test_dgd_converges_roughly () =
   let sb = Builders.single_bottleneck ~n_senders:2 () in
-  let config = { Nf_sim.Config.default with Nf_sim.Config.dgd_price_scale = 2e-10 } in
-  let net = Network.create ~config ~topology:sb.Builders.sb_topo ~protocol:Network.Dgd () in
+  let config =
+    {
+      Nf_sim.Config.default with
+      Nf_sim.Config.dgd =
+        { Nf_sim.Config.default_dgd with Nf_sim.Config.dgd_price_scale = 2e-10 };
+    }
+  in
+  let net = Network.create ~config ~topology:sb.Builders.sb_topo ~protocol:(proto "dgd") () in
   let u () = Utility.proportional_fair () in
   Array.iteri
     (fun i s ->
@@ -337,7 +424,7 @@ let test_dgd_converges_roughly () =
 
 let test_pfabric_preemption () =
   let sb = Builders.single_bottleneck ~n_senders:2 () in
-  let net = Network.create ~topology:sb.Builders.sb_topo ~protocol:Network.Pfabric () in
+  let net = Network.create ~topology:sb.Builders.sb_topo ~protocol:(proto "pfabric") () in
   Network.add_flow net
     (Network.flow ~size:3e6 ~id:0 ~src:sb.Builders.senders.(0)
        ~dst:sb.Builders.receiver ());
@@ -355,7 +442,7 @@ let test_pfabric_preemption () =
 
 let test_conservation_and_paths () =
   let ls = Builders.leaf_spine ~n_leaves:2 ~n_spines:2 ~servers_per_leaf:2 () in
-  let net = Network.create ~topology:ls.Builders.topo ~protocol:Network.Numfabric () in
+  let net = Network.create ~topology:ls.Builders.topo ~protocol:(proto "numfabric") () in
   let s = ls.Builders.servers in
   Network.add_flow net
     (Network.flow ~utility:(Utility.proportional_fair ()) ~id:0 ~src:s.(0) ~dst:s.(3) ());
@@ -368,9 +455,9 @@ let test_conservation_and_paths () =
 
 let test_add_flow_validation () =
   let sb = Builders.single_bottleneck ~n_senders:1 () in
-  let net = Network.create ~topology:sb.Builders.sb_topo ~protocol:Network.Numfabric () in
+  let net = Network.create ~topology:sb.Builders.sb_topo ~protocol:(proto "numfabric") () in
   Alcotest.check_raises "missing utility"
-    (Invalid_argument "Network.add_flow: NUMFabric flow needs a utility")
+    (Invalid_argument "Protocol numfabric: flow needs a utility")
     (fun () ->
       Network.add_flow net
         (Network.flow ~id:0 ~src:sb.Builders.senders.(0) ~dst:sb.Builders.receiver ()));
@@ -391,7 +478,7 @@ let test_numfabric_srpt_preempts () =
   let sb = Builders.single_bottleneck ~n_senders:2 () in
   let net =
     Network.create ~topology:sb.Builders.sb_topo
-      ~protocol:(Network.Numfabric_srpt { eps = 0.125 }) ()
+      ~protocol:(proto "numfabric-srpt") ()
   in
   Network.add_flow net
     (Network.flow ~size:3e6 ~id:0 ~src:sb.Builders.senders.(0)
@@ -410,17 +497,17 @@ let test_numfabric_srpt_preempts () =
   (* Persistent flows cannot use remaining-size weights. *)
   let net2 =
     Network.create ~topology:sb.Builders.sb_topo
-      ~protocol:(Network.Numfabric_srpt { eps = 0.125 }) ()
+      ~protocol:(proto "numfabric-srpt") ()
   in
   Alcotest.check_raises "persistent flow rejected"
-    (Invalid_argument "Host.make_sender: SRPT weights need a finite flow size")
+    (Invalid_argument "Protocol numfabric-srpt: SRPT weights need a finite flow size")
     (fun () ->
       Network.add_flow net2
         (Network.flow ~id:9 ~src:sb.Builders.senders.(0) ~dst:sb.Builders.receiver ()))
 
 let test_link_monitoring () =
   let sb = Builders.single_bottleneck ~n_senders:2 () in
-  let net = Network.create ~topology:sb.Builders.sb_topo ~protocol:Network.Numfabric () in
+  let net = Network.create ~topology:sb.Builders.sb_topo ~protocol:(proto "numfabric") () in
   let u = Utility.proportional_fair () in
   Array.iteri
     (fun i s ->
@@ -445,9 +532,13 @@ let test_weight_quantization_still_shares () =
      must still favour the heavy flow. *)
   let sb = Builders.single_bottleneck ~n_senders:2 () in
   let config =
-    { Nf_sim.Config.default with Nf_sim.Config.weight_quant_base = Some 2. }
+    {
+      Nf_sim.Config.default with
+      Nf_sim.Config.swift =
+        { Nf_sim.Config.default_swift with Nf_sim.Config.weight_quant_base = Some 2. };
+    }
   in
-  let net = Network.create ~config ~topology:sb.Builders.sb_topo ~protocol:Network.Numfabric () in
+  let net = Network.create ~config ~topology:sb.Builders.sb_topo ~protocol:(proto "numfabric") () in
   Network.add_flow net
     (Network.flow
        ~utility:(Utility.proportional_fair ~weight:1. ())
@@ -467,7 +558,7 @@ let test_numfabric_on_fat_tree () =
      flows to the same destination share its edge downlink equally. *)
   let ft = Builders.fat_tree ~k:4 () in
   let s = ft.Builders.ft_servers in
-  let net = Network.create ~topology:ft.Builders.ft_topo ~protocol:Network.Numfabric () in
+  let net = Network.create ~topology:ft.Builders.ft_topo ~protocol:(proto "numfabric") () in
   let u = Utility.proportional_fair () in
   (* s.(0) is in pod 0; s.(8) in pod 2; both send to s.(15) in pod 3. *)
   Network.add_flow net (Network.flow ~utility:u ~id:0 ~src:s.(0) ~dst:s.(15) ());
@@ -480,7 +571,7 @@ let test_numfabric_on_fat_tree () =
 let test_rate_series_recording () =
   let sb = Builders.single_bottleneck ~n_senders:1 () in
   let config = { Nf_sim.Config.default with Nf_sim.Config.record_rates = true } in
-  let net = Network.create ~config ~topology:sb.Builders.sb_topo ~protocol:Network.Numfabric () in
+  let net = Network.create ~config ~topology:sb.Builders.sb_topo ~protocol:(proto "numfabric") () in
   Network.add_flow net
     (Network.flow
        ~utility:(Utility.proportional_fair ())
@@ -490,6 +581,88 @@ let test_rate_series_recording () =
   | Some ts ->
     Alcotest.(check bool) "series recorded" true (Nf_util.Timeseries.length ts > 100)
   | None -> Alcotest.fail "no series despite record_rates"
+
+(* ------------------------------------------------------------------ *)
+(* Protocol registry *)
+
+let test_registry_lookup () =
+  let names = Nf_sim.Protocols.names () in
+  List.iter
+    (fun n -> Alcotest.(check bool) ("registered: " ^ n) true (List.mem n names))
+    [ "numfabric"; "numfabric-srpt"; "dgd"; "rcp"; "dctcp"; "pfabric" ];
+  (match Nf_sim.Protocols.find "no-such-proto" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "phantom protocol");
+  Alcotest.check_raises "duplicate registration rejected"
+    (Invalid_argument "Protocol.register: duplicate protocol \"dctcp\"")
+    (fun () -> Nf_sim.Protocol.register (proto "dctcp"))
+
+let test_every_protocol_completes () =
+  (* Every registered transport must carry two finite flows across a
+     shared 10 Gbps bottleneck to completion, delivering all their bytes
+     (byte conservation at the flow and at the link). *)
+  List.iter
+    (fun p ->
+      let name = Nf_sim.Protocol.name p in
+      let sb = Builders.single_bottleneck ~n_senders:2 () in
+      let net = Network.create ~topology:sb.Builders.sb_topo ~protocol:p () in
+      let size = 300_000. in
+      Array.iteri
+        (fun i src ->
+          let utility =
+            if Nf_sim.Protocol.needs_utility p then
+              Some (Utility.proportional_fair ())
+            else None
+          in
+          Network.add_flow net
+            (Network.flow ?utility ~size ~id:i ~src ~dst:sb.Builders.receiver ()))
+        sb.Builders.senders;
+      Network.run net ~until:0.05;
+      Array.iteri
+        (fun i _ ->
+          (match Network.fct net i with
+          | Some fct ->
+            Alcotest.(check bool) (name ^ ": positive fct") true (fct > 0.)
+          | None -> Alcotest.failf "%s: flow %d did not finish" name i);
+          Alcotest.(check bool)
+            (name ^ ": flow bytes conserved")
+            true
+            (Network.received_bytes net i >= size))
+        sb.Builders.senders;
+      Alcotest.(check bool)
+        (name ^ ": link bytes conserved")
+        true
+        (Network.link_delivered_bytes net ~link:sb.Builders.bottleneck
+        >= 2. *. size))
+    Nf_sim.Protocols.builtins
+
+let test_record_json_has_channels () =
+  (* A monitored run's record must serialize every instrumentation
+     channel: queue/price/drops (link monitor), rate (receiver sink) and
+     fct (completion). *)
+  let sb = Builders.single_bottleneck ~n_senders:1 () in
+  let config = { Nf_sim.Config.default with Nf_sim.Config.record_rates = true } in
+  let net =
+    Network.create ~config ~topology:sb.Builders.sb_topo
+      ~protocol:(proto "numfabric") ()
+  in
+  Network.monitor_links net ~links:[ sb.Builders.bottleneck ] ~every:50e-6;
+  Network.add_flow net
+    (Network.flow
+       ~utility:(Utility.proportional_fair ())
+       ~size:200_000. ~id:0 ~src:sb.Builders.senders.(0)
+       ~dst:sb.Builders.receiver ());
+  Network.run net ~until:0.01;
+  let json = Nf_sim.Record.to_json (Network.record net) in
+  let contains needle =
+    let nl = String.length needle and jl = String.length json in
+    let rec go i = i + nl <= jl && (String.sub json i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) ("json has " ^ key) true (contains ("\"" ^ key ^ "\"")))
+    [ "queue"; "price"; "rate"; "drops"; "fct"; "channels" ]
 
 let () =
   Alcotest.run "nf_sim"
@@ -503,6 +676,9 @@ let () =
           quick "stfq per-flow order" test_stfq_per_flow_order;
           quick "pfabric priority and eviction" test_pfabric_priority;
           quick "pfabric same-flow order" test_pfabric_same_flow_in_order;
+          quick "stfq ordering under weight change" test_stfq_weight_change_ordering;
+          quick "fifo drop accounting" test_fifo_drop_accounting;
+          quick "drops counter monotone" test_drops_counter_monotone;
         ] );
       ( "price_engine",
         [
@@ -529,5 +705,11 @@ let () =
           quick "srpt weights preempt" test_numfabric_srpt_preempts;
           quick "link monitoring" test_link_monitoring;
           quick "weight quantization" test_weight_quantization_still_shares;
+        ] );
+      ( "registry",
+        [
+          quick "lookup and duplicate guard" test_registry_lookup;
+          quick "every protocol completes a 2-flow run" test_every_protocol_completes;
+          quick "record json has all channels" test_record_json_has_channels;
         ] );
     ]
