@@ -17,11 +17,71 @@ let quick = ref false
 let section name =
   Format.printf "@.==== %s ====@." name
 
+(* (name, wall seconds) per experiment, in run order — the raw material of
+   the BENCH_<rev>.json report. *)
+let timings : (string * float) list ref = ref []
+
 let timed name f =
   section name;
   let t0 = Unix.gettimeofday () in
   f ();
-  Format.printf "@.(%s finished in %.1f s)@." name (Unix.gettimeofday () -. t0)
+  let dt = Unix.gettimeofday () -. t0 in
+  timings := (name, dt) :: !timings;
+  Format.printf "@.(%s finished in %.1f s)@." name dt
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable report: BENCH_<rev>.json with per-experiment wall
+   times and the final global metrics registry, for CI artifacts and
+   cross-revision comparison. *)
+
+let git_rev () =
+  match
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> Some line
+    | _ -> None
+  with
+  | rev -> rev
+  | exception _ -> None
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_report ~total =
+  let rev = Option.value (git_rev ()) ~default:"unknown" in
+  let path = Printf.sprintf "BENCH_%s.json" rev in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"rev\": \"%s\",\n" (json_escape rev));
+  Buffer.add_string b
+    (Printf.sprintf "  \"quick\": %b,\n  \"total_seconds\": %.3f,\n" !quick total);
+  Buffer.add_string b "  \"experiments\": [\n";
+  let rows = List.rev !timings in
+  List.iteri
+    (fun i (name, dt) ->
+      Buffer.add_string b
+        (Printf.sprintf "    {\"name\": \"%s\", \"seconds\": %.3f}%s\n"
+           (json_escape name) dt
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ],\n  \"metrics\": ";
+  Buffer.add_string b (Nf_util.Metrics.to_json Nf_util.Metrics.global);
+  Buffer.add_string b "\n}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc b;
+  close_out oc;
+  Format.printf "(bench report written to %s)@." path
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the core kernels *)
@@ -157,4 +217,6 @@ let () =
   in
   let t0 = Unix.gettimeofday () in
   List.iter (fun (name, f) -> timed name f) to_run;
-  Format.printf "@.All done in %.1f s.@." (Unix.gettimeofday () -. t0)
+  let total = Unix.gettimeofday () -. t0 in
+  Format.printf "@.All done in %.1f s.@." total;
+  write_report ~total

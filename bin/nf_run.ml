@@ -34,6 +34,74 @@ let quick_arg =
   let doc = "Run a scaled-down version (for smoke tests)." in
   Arg.(value & flag & info [ "quick" ] ~doc)
 
+(* Observability flags, shared by `exp' and `proto'. *)
+
+let trace_arg =
+  let doc =
+    "Stream structured trace events (enqueues, drops, price updates, \
+     solver iterations, ...) to $(docv) as JSONL, one event per line."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "After the run, write the global metrics registry to $(docv) — \
+     Prometheus text exposition, or JSON if $(docv) ends in .json."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let profile_arg =
+  let doc =
+    "Account wall-clock time per event-handler category and print a \
+     \"where did the time go\" table after the run."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+(* Install the requested sinks, run [f], then flush/report them. *)
+let with_observability ~trace ~metrics ~profile f =
+  let module Trace = Nf_util.Trace in
+  let module Metrics = Nf_util.Metrics in
+  let module Profile = Nf_util.Profile in
+  let sink =
+    match trace with
+    | None -> None
+    | Some path ->
+      let tr = Trace.make ~path () in
+      Trace.set_default tr;
+      Some (tr, path)
+  in
+  if profile then begin
+    Profile.reset ();
+    Profile.set_enabled true
+  end;
+  f ();
+  (match sink with
+  | None -> ()
+  | Some (tr, path) ->
+    Trace.close tr;
+    Trace.set_default Trace.null;
+    Format.printf "(trace: %d events written to %s)@." (Trace.emitted tr) path);
+  (match metrics with
+  | None -> ()
+  | Some path -> (
+    let text =
+      if Filename.check_suffix path ".json" then Metrics.to_json Metrics.global
+      else Metrics.to_prometheus Metrics.global
+    in
+    match
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc
+    with
+    | () -> Format.printf "(metrics written to %s)@." path
+    | exception Sys_error msg ->
+      Format.eprintf "cannot write metrics: %s@." msg;
+      exit 1));
+  if profile then begin
+    Profile.set_enabled false;
+    Format.printf "@.Where did the time go:@.%a@." Profile.pp_table ()
+  end
+
 let record_arg =
   let doc =
     "Write the run record (queue/price/rate/drops/fct series of every \
@@ -59,19 +127,23 @@ let exp_cmd =
   let name_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME")
   in
-  let run name quick record =
+  let run name quick record trace metrics profile =
     match E.Registry.find name with
     | Some e ->
       E.Support.reset_records ();
-      let t0 = Unix.gettimeofday () in
-      e.E.Registry.run ~quick;
-      Format.printf "(finished in %.1f s)@." (Unix.gettimeofday () -. t0);
+      with_observability ~trace ~metrics ~profile (fun () ->
+          let t0 = Unix.gettimeofday () in
+          e.E.Registry.run ~quick;
+          Format.printf "(finished in %.1f s)@." (Unix.gettimeofday () -. t0));
       (match record with Some path -> export_records path | None -> ())
     | None ->
       Format.eprintf "unknown experiment %S; try `nf_run list'@." name;
       exit 2
   in
-  Cmd.v (Cmd.info "exp" ~doc) Term.(const run $ name_arg $ quick_arg $ record_arg)
+  Cmd.v (Cmd.info "exp" ~doc)
+    Term.(
+      const run $ name_arg $ quick_arg $ record_arg $ trace_arg $ metrics_arg
+      $ profile_arg)
 
 let all_cmd =
   let doc = "Run every experiment in sequence." in
@@ -100,13 +172,14 @@ let proto_cmd =
     let doc = "Write the scenario's run record to $(docv) as JSON." in
     Arg.(value & opt (some string) None & info [ "record" ] ~docv:"FILE" ~doc)
   in
-  let run name record_path =
+  let run name record_path trace metrics profile =
     match Nf_sim.Protocols.find name with
     | None ->
       Format.eprintf "unknown protocol %S (known: %s)@." name
         (String.concat ", " (Nf_sim.Protocols.names ()));
       exit 2
     | Some protocol ->
+      with_observability ~trace ~metrics ~profile @@ fun () ->
       let module Network = Nf_sim.Network in
       let module Builders = Nf_topo.Builders in
       let sb = Builders.single_bottleneck ~n_senders:2 () in
@@ -158,7 +231,9 @@ let proto_cmd =
            (Array.mapi (fun i _ -> i) sb.Builders.senders)
       then exit 1
   in
-  Cmd.v (Cmd.info "proto" ~doc) Term.(const run $ name_arg $ record_arg)
+  Cmd.v (Cmd.info "proto" ~doc)
+    Term.(
+      const run $ name_arg $ record_arg $ trace_arg $ metrics_arg $ profile_arg)
 
 let solve_cmd =
   let doc =

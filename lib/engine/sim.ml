@@ -1,4 +1,7 @@
-type event = { time : float; seq : int; action : unit -> unit }
+module Metrics = Nf_util.Metrics
+module Profile = Nf_util.Profile
+
+type event = { time : float; seq : int; cat : string; action : unit -> unit }
 
 type t = {
   queue : event Nf_util.Heap.t;
@@ -7,6 +10,18 @@ type t = {
   mutable stopped : bool;
   mutable processed : int;
 }
+
+let m_events =
+  Metrics.counter Metrics.global
+    ~help:"Events dispatched by the discrete-event loop"
+    "nf_engine_events_total"
+
+let m_heap_depth =
+  Metrics.gauge Metrics.global
+    ~help:"High-water mark of the event heap"
+    "nf_engine_heap_depth_max"
+
+let default_cat = "event"
 
 let compare_events a b =
   match compare a.time b.time with 0 -> compare a.seq b.seq | c -> c
@@ -22,24 +37,28 @@ let create () =
 
 let now t = t.clock
 
-let schedule t ~at action =
-  if at < t.clock then invalid_arg "Sim.schedule: event in the past";
+let schedule t ?(cat = default_cat) ~at action =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule: event in the past (at=%g, now=%g)" at
+         t.clock);
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  Nf_util.Heap.push t.queue { time = at; seq; action }
+  Nf_util.Heap.push t.queue { time = at; seq; cat; action };
+  Metrics.max_gauge m_heap_depth (float_of_int (Nf_util.Heap.length t.queue))
 
-let schedule_after t ~delay action =
+let schedule_after t ?cat ~delay action =
   if delay < 0. then invalid_arg "Sim.schedule_after: negative delay";
-  schedule t ~at:(t.clock +. delay) action
+  schedule t ?cat ~at:(t.clock +. delay) action
 
-let periodic t ?start ~interval action =
+let periodic t ?cat ?start ~interval action =
   if interval <= 0. then invalid_arg "Sim.periodic: interval must be positive";
   let first = match start with Some s -> s | None -> t.clock +. interval in
   let rec fire () =
     action ();
-    schedule_after t ~delay:interval fire
+    schedule_after t ?cat ~delay:interval fire
   in
-  schedule t ~at:first fire
+  schedule t ?cat ~at:first fire
 
 let run ?until t =
   t.stopped <- false;
@@ -59,7 +78,13 @@ let run ?until t =
         ignore (Nf_util.Heap.pop t.queue);
         t.clock <- ev.time;
         t.processed <- t.processed + 1;
-        ev.action ()
+        Metrics.incr m_events;
+        if Profile.enabled () then begin
+          let t0 = Profile.now () in
+          ev.action ();
+          Profile.record ev.cat (Profile.now () -. t0)
+        end
+        else ev.action ()
       end
   done
 

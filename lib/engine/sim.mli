@@ -3,7 +3,14 @@
     A simulator holds a virtual clock and a priority queue of events;
     events scheduled at equal times fire in scheduling order (FIFO
     tie-breaking by sequence number — essential for protocol determinism).
-    All of [nf_sim] runs on top of this. *)
+    All of [nf_sim] runs on top of this.
+
+    {b Observability.} Every event carries a scheduling category ([?cat],
+    default ["event"]); when {!Nf_util.Profile.enabled}, the event loop
+    accounts each handler's wall time under its category, which is how
+    [nf_run ... --profile] builds its "where did the time go" table. The
+    loop also feeds the global metrics registry
+    ([nf_engine_events_total], [nf_engine_heap_depth_max]). *)
 
 type t
 
@@ -12,14 +19,17 @@ val create : unit -> t
 val now : t -> float
 (** Current virtual time, seconds. Starts at 0. *)
 
-val schedule : t -> at:float -> (unit -> unit) -> unit
-(** @raise Invalid_argument if [at] is in the past. *)
+val schedule : t -> ?cat:string -> at:float -> (unit -> unit) -> unit
+(** [cat] is the profiling category of the handler (default ["event"]).
+    @raise Invalid_argument if [at] is in the past (the message carries
+    both the requested time and the current clock). *)
 
-val schedule_after : t -> delay:float -> (unit -> unit) -> unit
+val schedule_after : t -> ?cat:string -> delay:float -> (unit -> unit) -> unit
 (** [schedule_after t ~delay f] = [schedule t ~at:(now t +. delay) f];
     [delay] must be non-negative. *)
 
-val periodic : t -> ?start:float -> interval:float -> (unit -> unit) -> unit
+val periodic :
+  t -> ?cat:string -> ?start:float -> interval:float -> (unit -> unit) -> unit
 (** Fire [f] every [interval] seconds, starting at [start] (default: one
     interval from now), until the simulation stops. *)
 

@@ -145,10 +145,16 @@ let semidyn_prepare ~setup ~topology ~hosts () =
     Array.init (setup.n_events + 1) (fun k ->
         problem_of (Nf_workload.Semidynamic.active_after scenario k))
   in
-  let targets = Array.map (Warm_oracle.solve oracle) problems in
+  let targets =
+    Nf_util.Profile.time "oracle-targets" @@ fun () ->
+    Array.map (Warm_oracle.solve oracle) problems
+  in
   { problems; targets }
 
 let semidyn_run ~scenario ~criteria ~scheme =
+  (* Accounted per scheme so a profiled fig4a/fig6 run shows how the wall
+     time splits between the schemes under comparison. *)
+  Nf_util.Profile.time ("fluid-" ^ scheme_name scheme) @@ fun () ->
   let s = make_scheme scheme scenario.problems.(0) in
   (* Let the initial population settle before the first event. *)
   ignore (Convergence.measure ~criteria s ~target:scenario.targets.(0));

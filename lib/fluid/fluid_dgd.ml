@@ -37,9 +37,11 @@ let compute_rates problem ~prices =
         (Problem.path_price problem ~prices i))
 
 let make_with_prices ?(params = default_params) ?(interval = default_interval)
-    problem =
+    ?trace problem =
   if not (Problem.is_single_path problem) then
     invalid_arg "Fluid_dgd.make: multipath problems are not supported";
+  let module Trace = Nf_util.Trace in
+  let iter = ref 0 in
   let problem = ref problem in
   let n_links = Problem.n_links !problem in
   let scale = price_scale !problem in
@@ -72,7 +74,17 @@ let make_with_prices ?(params = default_params) ?(interval = default_interval)
       let a = params.gain_util *. scale /. caps.(l) in
       let b = params.gain_queue *. scale /. Float.max bdp_bytes 1. in
       prices.(l) <- Float.max 0. (prices.(l) +. (a *. excess) +. (b *. queues.(l)))
-    done
+    done;
+    incr iter;
+    let tr =
+      match trace with Some tr -> tr | None -> Nf_util.Trace.default ()
+    in
+    if Trace.on tr Trace.PriceUpdate then begin
+      let time = float_of_int !iter *. interval in
+      Array.iteri
+        (fun l p -> Trace.emit tr Trace.PriceUpdate ~subject:l ~time p)
+        prices
+    end
   in
   let rebind p =
     if Problem.n_links p <> n_links then
@@ -94,5 +106,5 @@ let make_with_prices ?(params = default_params) ?(interval = default_interval)
   in
   (scheme, fun () -> Array.copy prices)
 
-let make ?params ?interval problem =
-  fst (make_with_prices ?params ?interval problem)
+let make ?params ?interval ?trace problem =
+  fst (make_with_prices ?params ?interval ?trace problem)

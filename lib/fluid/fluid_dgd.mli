@@ -25,12 +25,19 @@ val default_interval : float
 (** 16 µs (Table 2: DGD priceUpdateInterval). *)
 
 val make :
-  ?params:params -> ?interval:float -> Nf_num.Problem.t -> Scheme.t
-(** @raise Invalid_argument on multipath problems (the paper's DGD is a
+  ?params:params ->
+  ?interval:float ->
+  ?trace:Nf_util.Trace.t ->
+  Nf_num.Problem.t ->
+  Scheme.t
+(** Each round emits per-link [PriceUpdate] trace events (time = round ×
+    interval) to [trace] (default: the process {!Nf_util.Trace.default}).
+    @raise Invalid_argument on multipath problems (the paper's DGD is a
     single-path algorithm). *)
 
 val make_with_prices :
   ?params:params ->
   ?interval:float ->
+  ?trace:Nf_util.Trace.t ->
   Nf_num.Problem.t ->
   Scheme.t * (unit -> float array)

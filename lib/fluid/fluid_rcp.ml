@@ -23,10 +23,12 @@ let compute_rates problem ~alpha ~fair_rates =
       Float.min x (path_line_rate problem i))
 
 let make_with_fair_rates ?(params = default_params)
-    ?(interval = default_interval) ~alpha problem =
+    ?(interval = default_interval) ?trace ~alpha problem =
   if not (alpha > 0.) then invalid_arg "Fluid_rcp.make: alpha must be positive";
   if not (Problem.is_single_path problem) then
     invalid_arg "Fluid_rcp.make: multipath problems are not supported";
+  let module Trace = Nf_util.Trace in
+  let iter = ref 0 in
   let problem = ref problem in
   let n_links = Problem.n_links !problem in
   let caps0 = Problem.caps !problem in
@@ -63,7 +65,17 @@ let make_with_fair_rates ?(params = default_params)
       fair_rates.(l) <-
         Nf_util.Fcmp.clamp ~lo:(caps.(l) *. 1e-6) ~hi:(caps.(l) *. 100.)
           (fair_rates.(l) *. factor)
-    done
+    done;
+    incr iter;
+    let tr =
+      match trace with Some tr -> tr | None -> Nf_util.Trace.default ()
+    in
+    if Trace.on tr Trace.PriceUpdate then begin
+      let time = float_of_int !iter *. interval in
+      Array.iteri
+        (fun l r -> Trace.emit tr Trace.PriceUpdate ~subject:l ~time r)
+        fair_rates
+    end
   in
   let rebind p =
     if Problem.n_links p <> n_links then
@@ -85,5 +97,5 @@ let make_with_fair_rates ?(params = default_params)
   in
   (scheme, fun () -> Array.copy fair_rates)
 
-let make ?params ?interval ~alpha problem =
-  fst (make_with_fair_rates ?params ?interval ~alpha problem)
+let make ?params ?interval ?trace ~alpha problem =
+  fst (make_with_fair_rates ?params ?interval ?trace ~alpha problem)

@@ -1,14 +1,24 @@
 module Problem = Nf_num.Problem
 module Xwi_core = Nf_num.Xwi_core
+module Trace = Nf_util.Trace
 
 let default_interval = 30e-6
 
 let make_with_prices ?(params = Xwi_core.default_params)
-    ?(interval = default_interval) problem =
+    ?(interval = default_interval) ?trace problem =
   let problem = ref problem in
   let state = ref (Xwi_core.init !problem) in
   let n_links = Problem.n_links !problem in
-  let step () = Xwi_core.step !problem params !state in
+  let iter = ref 0 in
+  let step () =
+    Xwi_core.step !problem params !state;
+    incr iter;
+    let tr = match trace with Some tr -> tr | None -> Trace.default () in
+    if Trace.on tr Trace.XwiIter then
+      Trace.emit tr Trace.XwiIter ~subject:0
+        ~time:(float_of_int !iter *. interval)
+        (float_of_int !iter)
+  in
   let rates () = Array.copy !state.Xwi_core.rates in
   let rebind p =
     if Problem.n_links p <> n_links then
@@ -29,5 +39,5 @@ let make_with_prices ?(params = Xwi_core.default_params)
   in
   (scheme, fun () -> Array.copy !state.Xwi_core.prices)
 
-let make ?params ?interval problem =
-  fst (make_with_prices ?params ?interval problem)
+let make ?params ?interval ?trace problem =
+  fst (make_with_prices ?params ?interval ?trace problem)

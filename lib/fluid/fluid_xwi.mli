@@ -12,12 +12,17 @@ val default_interval : float
 val make :
   ?params:Nf_num.Xwi_core.params ->
   ?interval:float ->
+  ?trace:Nf_util.Trace.t ->
   Nf_num.Problem.t ->
   Scheme.t
+(** Each round emits an [XwiIter] trace event (time = round × interval)
+    to [trace] (default: the process {!Nf_util.Trace.default}, resolved
+    at emission time). *)
 
 val make_with_prices :
   ?params:Nf_num.Xwi_core.params ->
   ?interval:float ->
+  ?trace:Nf_util.Trace.t ->
   Nf_num.Problem.t ->
   Scheme.t * (unit -> float array)
 (** Like {!make} but also returns an accessor for a snapshot of the

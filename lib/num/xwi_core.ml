@@ -1,8 +1,32 @@
+module Trace = Nf_util.Trace
+module Metrics = Nf_util.Metrics
+
 type residual_agg = Agg_min | Agg_mean
 
 type params = { eta : float; beta : float; residual_agg : residual_agg }
 
 let default_params = { eta = 5.; beta = 0.5; residual_agg = Agg_min }
+
+(* Observability: solver runs report their iteration counts (the paper's
+   key convergence statistic) and every iteration can be traced. *)
+let m_runs =
+  Metrics.counter Metrics.global ~help:"xWI solver runs" "nf_xwi_runs_total"
+
+let m_converged =
+  Metrics.counter Metrics.global ~help:"xWI solver runs that converged"
+    "nf_xwi_converged_total"
+
+let m_iterations =
+  Metrics.histogram Metrics.global
+    ~help:"Iterations per xWI solver run"
+    ~buckets:[ 10.; 30.; 100.; 300.; 1000.; 3000.; 10000.; 30000. ]
+    "nf_xwi_iterations"
+
+let trace_iter iter =
+  let tr = Trace.default () in
+  if Trace.on tr Trace.XwiIter then
+    Trace.emit tr Trace.XwiIter ~subject:0 ~time:(float_of_int iter)
+      (float_of_int iter)
 
 type state = {
   prices : float array;
@@ -149,14 +173,22 @@ let step problem params state =
 
 type run = { iterations : int; converged : bool }
 
+let finish_run run =
+  Metrics.incr m_runs;
+  if run.converged then Metrics.incr m_converged;
+  Metrics.observe m_iterations (float_of_int run.iterations);
+  run
+
 let run_to_fixpoint ?(tol = 1e-10) ?(max_iters = 50_000) problem params state =
+  Nf_util.Profile.time "xwi-solve" @@ fun () ->
   let n_links = Problem.n_links problem and n_flows = Problem.n_flows problem in
   let rec loop iter =
-    if iter >= max_iters then { iterations = iter; converged = false }
+    if iter >= max_iters then finish_run { iterations = iter; converged = false }
     else begin
       let old_prices = Array.copy state.prices in
       let old_rates = Array.copy state.rates in
       step problem params state;
+      trace_iter (iter + 1);
       let delta = ref 0. in
       for l = 0 to n_links - 1 do
         let scale = Float.max (Float.abs old_prices.(l)) 1e-30 in
@@ -166,7 +198,7 @@ let run_to_fixpoint ?(tol = 1e-10) ?(max_iters = 50_000) problem params state =
         let scale = Float.max (Float.abs old_rates.(i)) 1e-30 in
         delta := Float.max !delta (Float.abs (state.rates.(i) -. old_rates.(i)) /. scale)
       done;
-      if !delta < tol then { iterations = iter + 1; converged = true }
+      if !delta < tol then finish_run { iterations = iter + 1; converged = true }
       else loop (iter + 1)
     end
   in
@@ -174,16 +206,19 @@ let run_to_fixpoint ?(tol = 1e-10) ?(max_iters = 50_000) problem params state =
 
 let run_until_kkt ?(tol = 1e-6) ?(check_every = 10) ?(max_iters = 50_000) problem
     params state =
+  Nf_util.Profile.time "xwi-solve" @@ fun () ->
   let optimal () =
     Kkt.worst (Kkt.check problem ~rates:state.rates ~prices:state.prices) <= tol
   in
   let rec loop iter =
-    if optimal () then { iterations = iter; converged = true }
-    else if iter >= max_iters then { iterations = iter; converged = false }
+    if optimal () then finish_run { iterations = iter; converged = true }
+    else if iter >= max_iters then
+      finish_run { iterations = iter; converged = false }
     else begin
       let chunk = Stdlib.min check_every (max_iters - iter) in
-      for _ = 1 to chunk do
-        step problem params state
+      for k = 1 to chunk do
+        step problem params state;
+        trace_iter (iter + k)
       done;
       loop (iter + chunk)
     end

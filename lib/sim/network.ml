@@ -1,6 +1,40 @@
 module Topology = Nf_topo.Topology
 module Routing = Nf_topo.Routing
 module Sim = Nf_engine.Sim
+module Trace = Nf_util.Trace
+module Metrics = Nf_util.Metrics
+
+(* Global observability: counters are cheap enough to bump unconditionally;
+   trace emissions are guarded by [Trace.on] so a disabled sink costs one
+   branch per potential event. *)
+let m_forwarded =
+  Metrics.counter Metrics.global
+    ~help:"Packets accepted by a link queue" "nf_sim_packets_forwarded_total"
+
+let m_dropped =
+  Metrics.counter Metrics.global
+    ~help:"Packets rejected by a full link queue" "nf_sim_packets_dropped_total"
+
+let m_ecn_marks =
+  Metrics.counter Metrics.global
+    ~help:"Packets ECN-marked on enqueue" "nf_sim_ecn_marks_total"
+
+let m_delivered =
+  Metrics.counter Metrics.global
+    ~help:"Packets delivered to their end host" "nf_sim_packets_delivered_total"
+
+let m_flows_started =
+  Metrics.counter Metrics.global
+    ~help:"Flow senders started" "nf_sim_flows_started_total"
+
+let m_flows_completed =
+  Metrics.counter Metrics.global
+    ~help:"Finite flows completed" "nf_sim_flows_completed_total"
+
+let m_wall_per_sim_second =
+  Metrics.gauge Metrics.global
+    ~help:"Wall-clock seconds per simulated second of the last Network.run"
+    "nf_sim_wall_seconds_per_sim_second"
 
 type flow_spec = {
   fs_id : int;
@@ -43,6 +77,7 @@ type t = {
   rtts : (int, float) Hashtbl.t;
   starts : (int, float) Hashtbl.t;
   record : Record.t;
+  trace : Trace.t;
   ctx : Host.ctx;
 }
 
@@ -51,6 +86,8 @@ let sim t = t.sim
 let protocol t = t.protocol
 
 let record t = t.record
+
+let trace t = t.trace
 
 (* ------------------------------------------------------------------ *)
 (* Link transmission machinery *)
@@ -63,21 +100,46 @@ let rec try_transmit t ls =
       ls.engine.Price_engine.on_dequeue pkt;
       ls.busy <- true;
       ls.delivered <- ls.delivered +. float_of_int pkt.Packet.size;
+      if Trace.on t.trace Trace.Dequeue then
+        Trace.emit t.trace Trace.Dequeue ~subject:ls.link.Topology.link_id
+          ~time:(Sim.now t.sim)
+          ~aux:(float_of_int pkt.Packet.flow)
+          (float_of_int pkt.Packet.size);
       let tx =
         float_of_int pkt.Packet.size *. 8. /. ls.link.Topology.capacity
       in
-      Sim.schedule_after t.sim ~delay:tx (fun () ->
+      Sim.schedule_after t.sim ~cat:"link-tx" ~delay:tx (fun () ->
           ls.busy <- false;
           try_transmit t ls);
-      Sim.schedule_after t.sim ~delay:(tx +. ls.link.Topology.delay) (fun () ->
-          arrive t pkt)
+      Sim.schedule_after t.sim ~cat:"pkt-arrive"
+        ~delay:(tx +. ls.link.Topology.delay) (fun () -> arrive t pkt)
   end
 
 and forward t pkt link_id =
   let ls = t.links.(link_id) in
+  let marked_before = pkt.Packet.ecn in
   if ls.qdisc.Queue_disc.enqueue pkt then begin
+    Metrics.incr m_forwarded;
+    if Trace.on t.trace Trace.Enqueue then
+      Trace.emit t.trace Trace.Enqueue ~subject:link_id ~time:(Sim.now t.sim)
+        ~aux:(float_of_int pkt.Packet.flow)
+        (float_of_int pkt.Packet.size);
+    if pkt.Packet.ecn && not marked_before then begin
+      Metrics.incr m_ecn_marks;
+      if Trace.on t.trace Trace.EcnMark then
+        Trace.emit t.trace Trace.EcnMark ~subject:link_id ~time:(Sim.now t.sim)
+          ~aux:(float_of_int pkt.Packet.flow)
+          (float_of_int pkt.Packet.size)
+    end;
     ls.engine.Price_engine.on_enqueue pkt;
     try_transmit t ls
+  end
+  else begin
+    Metrics.incr m_dropped;
+    if Trace.on t.trace Trace.Drop then
+      Trace.emit t.trace Trace.Drop ~subject:link_id ~time:(Sim.now t.sim)
+        ~aux:(float_of_int pkt.Packet.flow)
+        (float_of_int pkt.Packet.size)
   end
 
 and arrive t pkt =
@@ -86,6 +148,12 @@ and arrive t pkt =
     forward t pkt pkt.Packet.path.(pkt.Packet.hop)
   else begin
     (* Reached the end host. *)
+    Metrics.incr m_delivered;
+    if Trace.on t.trace Trace.PktRecv then
+      Trace.emit t.trace Trace.PktRecv ~subject:pkt.Packet.flow
+        ~time:(Sim.now t.sim)
+        ~aux:(float_of_int pkt.Packet.size)
+        (float_of_int pkt.Packet.seq);
     match pkt.Packet.kind with
     | Packet.Data -> (
       match Hashtbl.find_opt t.receivers pkt.Packet.flow with
@@ -97,18 +165,29 @@ and arrive t pkt =
       | None -> ())
   end
 
-let transmit t pkt = forward t pkt pkt.Packet.path.(0)
+let transmit t pkt =
+  if Trace.on t.trace Trace.PktSend then
+    Trace.emit t.trace Trace.PktSend ~subject:pkt.Packet.flow
+      ~time:(Sim.now t.sim)
+      ~aux:(float_of_int pkt.Packet.size)
+      (float_of_int pkt.Packet.seq);
+  forward t pkt pkt.Packet.path.(0)
 
 (* ------------------------------------------------------------------ *)
 (* Construction *)
 
-let create ?(config = Config.default) ?record ~topology ~protocol () =
+let create ?(config = Config.default) ?record ?trace ~topology ~protocol () =
   let module P = (val protocol : Protocol.PROTOCOL) in
   let sim = Sim.create () in
   let record =
     match record with
     | Some r -> r
     | None -> Record.create ()
+  in
+  let trace =
+    match trace with
+    | Some tr -> tr
+    | None -> Trace.default ()
   in
   let links =
     Array.map
@@ -136,10 +215,11 @@ let create ?(config = Config.default) ?record ~topology ~protocol () =
       rtts = Hashtbl.create 256;
       starts = Hashtbl.create 256;
       record;
+      trace;
       ctx =
         {
           Host.now = (fun () -> Sim.now sim);
-          after = (fun delay f -> Sim.schedule_after sim ~delay f);
+          after = (fun delay f -> Sim.schedule_after sim ~cat:"host" ~delay f);
           transmit = (fun pkt -> transmit t pkt);
           complete =
             (fun flow_id ->
@@ -149,8 +229,12 @@ let create ?(config = Config.default) ?record ~topology ~protocol () =
                 | None -> 0.
               in
               let now = Sim.now sim in
-              Record.complete t.record ~flow:flow_id ~at:now
-                ~fct:(now -. start));
+              let fct = now -. start in
+              Metrics.incr m_flows_completed;
+              if Trace.on t.trace Trace.FlowDone then
+                Trace.emit t.trace Trace.FlowDone ~subject:flow_id ~time:now
+                  fct;
+              Record.complete t.record ~flow:flow_id ~at:now ~fct);
           cfg = config;
         };
     }
@@ -158,8 +242,14 @@ let create ?(config = Config.default) ?record ~topology ~protocol () =
   (* Synchronized periodic feedback updates on every link (§5: PTP). *)
   (match P.update_interval config with
   | Some interval ->
-    Sim.periodic sim ~start:interval ~interval (fun () ->
-        Array.iter (fun ls -> ls.engine.Price_engine.update ()) links)
+    Sim.periodic sim ~cat:"price-update" ~start:interval ~interval (fun () ->
+        Array.iter (fun ls -> ls.engine.Price_engine.update ()) links;
+        if Trace.on trace Trace.PriceUpdate then
+          Array.iteri
+            (fun i ls ->
+              Trace.emit trace Trace.PriceUpdate ~subject:i ~time:(Sim.now sim)
+                (ls.engine.Price_engine.value ()))
+            links)
   | None -> ());
   t
 
@@ -218,9 +308,14 @@ let add_flow t spec =
       ~line_rate ~protocol:t.protocol ~utility:spec.fs_utility
   in
   let sink =
-    if t.config.Config.record_rates then
+    let record_rates = t.config.Config.record_rates in
+    if record_rates || Trace.on t.trace Trace.RateUpdate then
       Some
-        (fun ~time v -> Record.add t.record Record.Rate ~subject:spec.fs_id ~time v)
+        (fun ~time v ->
+          if record_rates then
+            Record.add t.record Record.Rate ~subject:spec.fs_id ~time v;
+          if Trace.on t.trace Trace.RateUpdate then
+            Trace.emit t.trace Trace.RateUpdate ~subject:spec.fs_id ~time v)
     else None
   in
   let receiver = Host.make_receiver t.ctx ~flow:spec.fs_id ~rpath ~sink in
@@ -229,14 +324,26 @@ let add_flow t spec =
   Hashtbl.replace t.paths spec.fs_id path;
   Hashtbl.replace t.rtts spec.fs_id d0;
   Hashtbl.replace t.starts spec.fs_id spec.fs_start;
-  Sim.schedule t.sim ~at:spec.fs_start (fun () -> Host.start t.ctx sender)
+  Sim.schedule t.sim ~cat:"flow-start" ~at:spec.fs_start (fun () ->
+      Metrics.incr m_flows_started;
+      if Trace.on t.trace Trace.FlowStart then
+        Trace.emit t.trace Trace.FlowStart ~subject:spec.fs_id
+          ~time:(Sim.now t.sim) spec.fs_size;
+      Host.start t.ctx sender)
 
 let stop_flow_at t ~id at =
   match Hashtbl.find_opt t.senders id with
   | None -> invalid_arg "Network.stop_flow_at: unknown flow"
-  | Some s -> Sim.schedule t.sim ~at (fun () -> Host.stop s)
+  | Some s -> Sim.schedule t.sim ~cat:"flow-stop" ~at (fun () -> Host.stop s)
 
-let run t ~until = Sim.run ~until t.sim
+let run t ~until =
+  let wall0 = Nf_util.Profile.now () in
+  let sim0 = Sim.now t.sim in
+  Sim.run ~until t.sim;
+  let sim_dt = Sim.now t.sim -. sim0 in
+  if sim_dt > 0. then
+    Metrics.set_gauge m_wall_per_sim_second
+      ((Nf_util.Profile.now () -. wall0) /. sim_dt)
 
 (* ------------------------------------------------------------------ *)
 (* Measurement *)
@@ -272,7 +379,7 @@ let monitor_links t ~links ~every =
       if link < 0 || link >= Array.length t.links then
         invalid_arg "Network.monitor_links: bad link id")
     links;
-  Sim.periodic t.sim ~interval:every (fun () ->
+  Sim.periodic t.sim ~cat:"monitor" ~interval:every (fun () ->
       let now = Sim.now t.sim in
       List.iter
         (fun link ->
@@ -284,6 +391,10 @@ let monitor_links t ~links ~every =
           Record.add t.record Record.Drops ~subject:link ~time:now
             (float_of_int (ls.qdisc.Queue_disc.drops ())))
         links)
+
+let monitor_metrics ?(registry = Metrics.global) t ~every =
+  Sim.periodic t.sim ~cat:"monitor" ~interval:every (fun () ->
+      Record.snapshot_metrics t.record ~registry ~time:(Sim.now t.sim))
 
 let queue_series t ~link = Record.find t.record Record.Queue ~subject:link
 

@@ -15,7 +15,16 @@
     Every measurement a run emits — queue/price/drops samples from
     {!monitor_links}, per-flow rates when [config.record_rates], flow
     completions — lands in the network's {!Record.t} ({!record}), which
-    can be shared across networks or exported. *)
+    can be shared across networks or exported.
+
+    {b Observability.} Every packet-level action additionally emits a
+    structured trace event (Enqueue / Dequeue / Drop / EcnMark / PktSend /
+    PktRecv / RateUpdate / PriceUpdate / FlowStart / FlowDone) through the
+    network's {!Nf_util.Trace.t} sink — the process {!Nf_util.Trace.default}
+    unless one is passed to {!create}. Emissions are guarded by
+    {!Nf_util.Trace.on}, so a disabled sink costs one branch per event.
+    Global counters (packets forwarded / dropped / delivered, ECN marks,
+    flows started / completed) are kept in {!Nf_util.Metrics.global}. *)
 
 type flow_spec = {
   fs_id : int;  (** unique flow id *)
@@ -45,18 +54,22 @@ type t
 val create :
   ?config:Config.t ->
   ?record:Record.t ->
+  ?trace:Nf_util.Trace.t ->
   topology:Nf_topo.Topology.t ->
   protocol:Protocol.t ->
   unit ->
   t
 (** [record] lets several networks write into one shared record; by
-    default each network gets a fresh one. *)
+    default each network gets a fresh one. [trace] overrides the process
+    default trace sink (resolved once, at creation). *)
 
 val sim : t -> Nf_engine.Sim.t
 
 val protocol : t -> Protocol.t
 
 val record : t -> Record.t
+
+val trace : t -> Nf_util.Trace.t
 
 val add_flow : t -> flow_spec -> unit
 (** Registers the flow and schedules its start. Must be called before the
@@ -103,6 +116,11 @@ val monitor_links : t -> links:int list -> every:float -> unit
     fair rate) and cumulative drop counter of the given links every
     [every] seconds into the record's Queue / Price / Drops channels;
     call before {!run}. Safe to call once per network. *)
+
+val monitor_metrics : ?registry:Nf_util.Metrics.t -> t -> every:float -> unit
+(** Periodically snapshot the metrics registry (default
+    {!Nf_util.Metrics.global}) into the record's Metric channel
+    ({!Record.snapshot_metrics}); call before {!run}. *)
 
 val queue_series : t -> link:int -> Nf_util.Timeseries.t option
 (** Samples recorded by {!monitor_links} ([None] if not monitored). *)

@@ -1,6 +1,6 @@
 module Timeseries = Nf_util.Timeseries
 
-type channel = Queue | Price | Rate | Drops | Fct
+type channel = Queue | Price | Rate | Drops | Fct | Metric
 
 let channel_name = function
   | Queue -> "queue"
@@ -8,8 +8,9 @@ let channel_name = function
   | Rate -> "rate"
   | Drops -> "drops"
   | Fct -> "fct"
+  | Metric -> "metric"
 
-let all_channels = [ Queue; Price; Rate; Drops; Fct ]
+let all_channels = [ Queue; Price; Rate; Drops; Fct; Metric ]
 
 type t = {
   tables : (channel, (int, Timeseries.t) Hashtbl.t) Hashtbl.t;
@@ -59,6 +60,10 @@ let complete t ~flow ~at ~fct =
 let completions t = List.rev t.done_flows
 
 let fct t flow = List.assoc_opt flow t.done_flows
+
+let snapshot_metrics t ~registry ~time =
+  Nf_util.Metrics.fold_values registry ~init:() ~f:(fun () ~id ~name:_ v ->
+      add t Metric ~subject:id ~time v)
 
 (* ------------------------------------------------------------------ *)
 (* Export *)

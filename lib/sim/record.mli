@@ -14,9 +14,13 @@ type channel =
   | Rate  (** per-flow receiver-measured rate, bps *)
   | Drops  (** per-link cumulative drop counter *)
   | Fct  (** flow completions; one sample (completion time, fct) per flow *)
+  | Metric
+      (** periodic snapshots of an {!Nf_util.Metrics} registry; the
+          subject is the metric's registration id
+          ({!Nf_util.Metrics.fold_values}) *)
 
 val channel_name : channel -> string
-(** "queue", "price", "rate", "drops", "fct". *)
+(** "queue", "price", "rate", "drops", "fct", "metric". *)
 
 val all_channels : channel list
 
@@ -46,6 +50,13 @@ val completions : t -> (int * float) list
 (** All (flow id, fct) pairs so far, completion order. *)
 
 val fct : t -> int -> float option
+
+val snapshot_metrics : t -> registry:Nf_util.Metrics.t -> time:float -> unit
+(** Append every metric's current primary value (counter count, gauge
+    value, histogram observation count) to the {!Metric} channel, keyed by
+    the metric's registration id. Drive it periodically
+    ({!Network.monitor_metrics}) to get metric trajectories over simulated
+    time. *)
 
 (** {2 Export} *)
 

@@ -1,0 +1,45 @@
+type slot = { mutable calls : int; mutable seconds : float }
+
+let table : (string, slot) Hashtbl.t = Hashtbl.create 16
+
+let enabled_flag = ref false
+
+let enabled () = !enabled_flag
+
+let set_enabled b = enabled_flag := b
+
+let reset () = Hashtbl.reset table
+
+let now () = Unix.gettimeofday ()
+
+let record cat dt =
+  match Hashtbl.find_opt table cat with
+  | Some s ->
+    s.calls <- s.calls + 1;
+    s.seconds <- s.seconds +. dt
+  | None -> Hashtbl.replace table cat { calls = 1; seconds = dt }
+
+let time cat f =
+  if not !enabled_flag then f ()
+  else begin
+    let t0 = now () in
+    Fun.protect ~finally:(fun () -> record cat (now () -. t0)) f
+  end
+
+let categories () =
+  let rows = Hashtbl.fold (fun k s acc -> (k, s.calls, s.seconds) :: acc) table [] in
+  List.sort (fun (_, _, a) (_, _, b) -> compare b a) rows
+
+let pp_table ppf () =
+  match categories () with
+  | [] -> Format.fprintf ppf "(no events profiled)"
+  | rows ->
+    let total = List.fold_left (fun acc (_, _, s) -> acc +. s) 0. rows in
+    Format.fprintf ppf "@[<v>%-24s %12s %12s %7s@," "category" "calls"
+      "seconds" "share";
+    List.iter
+      (fun (cat, calls, seconds) ->
+        Format.fprintf ppf "%-24s %12d %12.4f %6.1f%%@," cat calls seconds
+          (100. *. seconds /. Float.max total 1e-12))
+      rows;
+    Format.fprintf ppf "%-24s %12s %12.4f %6.1f%%@]" "total" "" total 100.

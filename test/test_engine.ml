@@ -41,14 +41,42 @@ let test_schedule_from_handler () =
 let test_past_rejected () =
   let sim = Sim.create () in
   Sim.schedule sim ~at:2. (fun () ->
-      Alcotest.check_raises "past event"
-        (Invalid_argument "Sim.schedule: event in the past") (fun () ->
-          Sim.schedule sim ~at:1. (fun () -> ())));
+      Alcotest.check_raises "past event names both times"
+        (Invalid_argument "Sim.schedule: event in the past (at=1, now=2)")
+        (fun () -> Sim.schedule sim ~at:1. (fun () -> ())));
   Sim.run sim;
   let sim2 = Sim.create () in
   Alcotest.check_raises "negative delay"
     (Invalid_argument "Sim.schedule_after: negative delay") (fun () ->
       Sim.schedule_after sim2 ~delay:(-1.) (fun () -> ()))
+
+(* Handlers are accounted under their scheduling category when profiling
+   is on; unlabeled events fall into the "event" bucket. *)
+let test_profile_categories () =
+  let module Profile = Nf_util.Profile in
+  Profile.reset ();
+  Profile.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Profile.set_enabled false;
+      Profile.reset ())
+    (fun () ->
+      let sim = Sim.create () in
+      Sim.schedule sim ~at:1. ~cat:"alpha" (fun () -> ());
+      Sim.schedule sim ~at:2. ~cat:"alpha" (fun () -> ());
+      Sim.schedule sim ~at:3. ~cat:"beta" (fun () -> ());
+      Sim.schedule sim ~at:4. (fun () -> ());
+      Sim.run sim;
+      let calls c =
+        match
+          List.find_opt (fun (n, _, _) -> n = c) (Profile.categories ())
+        with
+        | Some (_, k, _) -> k
+        | None -> 0
+      in
+      Alcotest.(check int) "alpha handlers" 2 (calls "alpha");
+      Alcotest.(check int) "beta handler" 1 (calls "beta");
+      Alcotest.(check int) "default category" 1 (calls "event"))
 
 let test_until_horizon () =
   let sim = Sim.create () in
@@ -125,6 +153,7 @@ let () =
           quick "fifo tie-break" test_fifo_ties;
           quick "schedule from handler" test_schedule_from_handler;
           quick "past events rejected" test_past_rejected;
+          quick "profiling categories" test_profile_categories;
           quick "until horizon" test_until_horizon;
           quick "until is inclusive" test_until_inclusive;
           quick "stop" test_stop;

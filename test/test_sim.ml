@@ -664,6 +664,96 @@ let test_record_json_has_channels () =
       Alcotest.(check bool) ("json has " ^ key) true (contains ("\"" ^ key ^ "\"")))
     [ "queue"; "price"; "rate"; "drops"; "fct"; "channels" ]
 
+let test_trace_flow_lifecycle () =
+  (* A deterministic two-flow run against a kinds-filtered sink: the
+     trace must open with both FlowStart events, contain the tail drops a
+     3-packet buffer forces, close with both FlowDone events, and be
+     time-ordered throughout. *)
+  let module Trace = Nf_util.Trace in
+  let tr =
+    Trace.make ~capacity:4096
+      ~kinds:[ Trace.FlowStart; Trace.Drop; Trace.FlowDone ] ()
+  in
+  let sb = Builders.single_bottleneck ~n_senders:2 () in
+  let config = { Nf_sim.Config.default with Nf_sim.Config.buffer_bytes = 4_500 } in
+  let net =
+    Network.create ~config ~trace:tr ~topology:sb.Builders.sb_topo
+      ~protocol:(proto "numfabric") ()
+  in
+  Array.iteri
+    (fun i src ->
+      Network.add_flow net
+        (Network.flow
+           ~utility:(Utility.proportional_fair ())
+           ~size:200_000. ~id:i ~src ~dst:sb.Builders.receiver ()))
+    sb.Builders.senders;
+  Network.run net ~until:0.25;
+  let evs = Trace.events tr in
+  let kinds = List.map (fun e -> e.Trace.kind) evs in
+  (match kinds with
+  | Trace.FlowStart :: Trace.FlowStart :: _ -> ()
+  | _ -> Alcotest.fail "trace must open with both FlowStart events");
+  Alcotest.(check bool) "buffer overflow traced" true
+    (List.mem Trace.Drop kinds);
+  Alcotest.(check int) "drops match the link counter"
+    (Network.total_drops net)
+    (List.length (List.filter (fun k -> k = Trace.Drop) kinds));
+  (match List.rev kinds with
+  | Trace.FlowDone :: _ -> ()
+  | _ -> Alcotest.fail "trace must close with a FlowDone event");
+  List.iter
+    (fun flow ->
+      List.iter
+        (fun kind ->
+          Alcotest.(check int)
+            (Printf.sprintf "one %s for flow %d" (Trace.kind_name kind) flow)
+            1
+            (List.length
+               (List.filter
+                  (fun e -> e.Trace.kind = kind && e.Trace.subject = flow)
+                  evs)))
+        [ Trace.FlowStart; Trace.FlowDone ])
+    [ 0; 1 ];
+  let rec ordered = function
+    | a :: (b :: _ as rest) ->
+      a.Trace.time <= b.Trace.time && ordered rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "events are time-ordered" true (ordered evs);
+  (* FlowDone carries the fct as its value. *)
+  List.iter
+    (fun e ->
+      if e.Trace.kind = Trace.FlowDone then
+        match Network.fct net e.Trace.subject with
+        | Some fct ->
+          Alcotest.(check (float 1e-12)) "flow_done value is the fct" fct
+            e.Trace.value
+        | None -> Alcotest.fail "FlowDone traced for an unfinished flow")
+    evs
+
+let test_record_csv_header () =
+  let r = Nf_sim.Record.create () in
+  Nf_sim.Record.add r Nf_sim.Record.Queue ~subject:3 ~time:1e-3 1500.;
+  Nf_sim.Record.complete r ~flow:0 ~at:2e-3 ~fct:2e-3;
+  let csv = Nf_sim.Record.to_csv r in
+  (match String.index_opt csv '\n' with
+  | Some i ->
+    Alcotest.(check string) "header row" "channel,subject,time,value"
+      (String.sub csv 0 i)
+  | None -> Alcotest.fail "csv has no rows");
+  Alcotest.(check int) "header + one row per sample" 3
+    (List.length
+       (List.filter (fun l -> l <> "") (String.split_on_char '\n' csv)))
+
+let test_record_empty_json () =
+  (* The .mli contract: every channel appears in the JSON, empty ones as
+     []. *)
+  let json = Nf_sim.Record.to_json (Nf_sim.Record.create ()) in
+  Alcotest.(check string) "empty record shape"
+    "{\"channels\": {\"queue\": [], \"price\": [], \"rate\": [], \"drops\": \
+     [], \"fct\": [], \"metric\": []}}"
+    json
+
 let () =
   Alcotest.run "nf_sim"
     [
@@ -711,5 +801,8 @@ let () =
           quick "lookup and duplicate guard" test_registry_lookup;
           quick "every protocol completes a 2-flow run" test_every_protocol_completes;
           quick "record json has all channels" test_record_json_has_channels;
+          quick "record csv header" test_record_csv_header;
+          quick "record empty json shape" test_record_empty_json;
+          quick "trace flow lifecycle" test_trace_flow_lifecycle;
         ] );
     ]

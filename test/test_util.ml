@@ -9,6 +9,9 @@ module Piecewise = Nf_util.Piecewise
 module Timeseries = Nf_util.Timeseries
 module Fcmp = Nf_util.Fcmp
 module Units = Nf_util.Units
+module Trace = Nf_util.Trace
+module Metrics = Nf_util.Metrics
+module Profile = Nf_util.Profile
 
 let check_float = Alcotest.(check (float 1e-9))
 
@@ -465,6 +468,212 @@ let test_fcmp () =
   check_float "clamp" 1. (Fcmp.clamp ~lo:0. ~hi:1. 3.);
   Alcotest.(check bool) "is_finite nan" false (Fcmp.is_finite Float.nan)
 
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let test_trace_ring () =
+  let tr = Trace.make ~capacity:4 () in
+  for i = 1 to 6 do
+    Trace.emit tr Trace.Enqueue ~subject:i ~time:(float_of_int i)
+      (float_of_int (100 * i))
+  done;
+  Alcotest.(check int) "accepted all six" 6 (Trace.emitted tr);
+  let evs = Trace.events tr in
+  Alcotest.(check int) "ring keeps capacity" 4 (List.length evs);
+  Alcotest.(check (list int))
+    "oldest first, oldest two evicted" [ 3; 4; 5; 6 ]
+    (List.map (fun e -> e.Trace.subject) evs)
+
+let test_trace_filters () =
+  let tr = Trace.make ~kinds:[ Trace.Drop; Trace.FlowDone ] ~subjects:[ 7 ] () in
+  Alcotest.(check bool) "on Drop" true (Trace.on tr Trace.Drop);
+  Alcotest.(check bool) "off Enqueue" false (Trace.on tr Trace.Enqueue);
+  Trace.emit tr Trace.Drop ~subject:7 ~time:1. 1500.;
+  Trace.emit tr Trace.Drop ~subject:8 ~time:2. 1500.;
+  (* wrong subject *)
+  Trace.emit tr Trace.Enqueue ~subject:7 ~time:3. 1500.;
+  (* wrong kind *)
+  Trace.emit tr Trace.FlowDone ~subject:7 ~time:4. 0.01;
+  Alcotest.(check int) "only matching events pass" 2 (Trace.emitted tr);
+  Alcotest.(check (list string))
+    "kinds in order" [ "drop"; "flow_done" ]
+    (List.map (fun e -> Trace.kind_name e.Trace.kind) (Trace.events tr))
+
+let test_trace_null_disabled () =
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "null sink off for %s" (Trace.kind_name k))
+        false (Trace.on Trace.null k))
+    Trace.all_kinds;
+  Trace.emit Trace.null Trace.Drop ~subject:0 ~time:0. 0.;
+  Alcotest.(check int) "null sink accepts nothing" 0 (Trace.emitted Trace.null)
+
+(* The zero-cost-when-disabled contract: the guarded hot-path pattern
+   [if Trace.on tr k then Trace.emit ...] must allocate nothing when the
+   sink rejects the kind. The guard itself is an int mask test; only the
+   skipped [emit] call would box its float arguments. *)
+let test_trace_disabled_no_alloc () =
+  let tr = Trace.make ~capacity:16 ~kinds:[ Trace.FlowDone ] () in
+  let before = Gc.minor_words () in
+  for i = 1 to 10_000 do
+    (* The float arguments sit inside the guarded branch, so a rejected
+       kind never evaluates (or boxes) them — same shape as the hot paths. *)
+    if Trace.on tr Trace.Drop then
+      Trace.emit tr Trace.Drop ~subject:i ~time:(float_of_int i) 1500.
+  done;
+  let allocated = Gc.minor_words () -. before in
+  Alcotest.(check int) "nothing emitted" 0 (Trace.emitted tr);
+  if allocated > 256. then
+    Alcotest.failf "disabled trace path allocated %.0f minor words" allocated
+
+let test_trace_jsonl_file () =
+  let path = Filename.temp_file "nf_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (* capacity 2 forces mid-run batch flushes *)
+      let tr = Trace.make ~capacity:2 ~path () in
+      Trace.emit tr Trace.FlowStart ~subject:0 ~time:0. 600_000.;
+      Trace.emit tr Trace.Drop ~subject:3 ~time:1e-3 ~aux:1. 1500.;
+      Trace.emit tr Trace.FlowDone ~subject:0 ~time:2e-3 0.002;
+      Trace.close tr;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      Alcotest.(check int) "three JSONL lines" 3 (List.length lines);
+      Alcotest.(check string)
+        "first line" "{\"time\":0,\"kind\":\"flow_start\",\"subject\":0,\"value\":600000}"
+        (List.nth lines 0);
+      Alcotest.(check string)
+        "aux present when set"
+        "{\"time\":0.001,\"kind\":\"drop\",\"subject\":3,\"value\":1500,\"aux\":1}"
+        (List.nth lines 1);
+      List.iter
+        (fun l ->
+          Alcotest.(check bool) "line is a JSON object" true
+            (String.length l > 2 && l.[0] = '{' && l.[String.length l - 1] = '}'))
+        lines)
+
+let test_trace_default_sink () =
+  Alcotest.(check bool) "default starts null" true (Trace.default () == Trace.null);
+  let tr = Trace.make ~capacity:8 () in
+  Trace.set_default tr;
+  Fun.protect
+    ~finally:(fun () -> Trace.set_default Trace.null)
+    (fun () ->
+      Trace.emit (Trace.default ()) Trace.XwiIter ~subject:0 ~time:1. 1.;
+      Alcotest.(check int) "default sink receives" 1 (Trace.emitted tr))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_metrics_counter_gauge () =
+  let r = Metrics.create () in
+  let c = Metrics.counter r ~help:"packets" "test_packets_total" in
+  Metrics.incr c;
+  Metrics.incr c;
+  Metrics.add c 3;
+  Alcotest.(check int) "counter" 5 (Metrics.counter_value c);
+  Alcotest.check_raises "negative add rejected"
+    (Invalid_argument "Metrics.add: negative increment") (fun () ->
+      Metrics.add c (-1));
+  let c' = Metrics.counter r "test_packets_total" in
+  Metrics.incr c';
+  Alcotest.(check int) "re-registration is the same counter" 6
+    (Metrics.counter_value c);
+  let g = Metrics.gauge r "test_depth" in
+  Metrics.set_gauge g 2.5;
+  Metrics.max_gauge g 1.;
+  Alcotest.(check (float 0.)) "max_gauge keeps larger" 2.5 (Metrics.gauge_value g);
+  Metrics.max_gauge g 4.;
+  Alcotest.(check (float 0.)) "max_gauge takes larger" 4. (Metrics.gauge_value g);
+  Alcotest.check_raises "kind mismatch"
+    (Invalid_argument
+       "Metrics: \"test_depth\" is already registered as a gauge, not a counter")
+    (fun () -> ignore (Metrics.counter r "test_depth" : Metrics.counter));
+  Metrics.reset r;
+  Alcotest.(check int) "reset zeroes counters" 0 (Metrics.counter_value c);
+  Alcotest.(check (float 0.)) "reset zeroes gauges" 0. (Metrics.gauge_value g)
+
+let test_metrics_histogram () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram r ~buckets:[ 1.; 10.; 100. ] "test_latency" in
+  List.iter (Metrics.observe h) [ 0.5; 5.; 50.; 500.; 7. ];
+  Alcotest.(check int) "count" 5 (Metrics.histogram_count h);
+  Alcotest.(check (float 1e-9)) "sum" 562.5 (Metrics.histogram_sum h)
+
+let test_metrics_prometheus () =
+  let r = Metrics.create () in
+  let c = Metrics.counter r ~help:"demo counter" "demo_total" in
+  Metrics.add c 7;
+  let h = Metrics.histogram r ~buckets:[ 1.; 10. ] "demo_hist" in
+  List.iter (Metrics.observe h) [ 0.5; 5.; 50. ];
+  let page = Metrics.to_prometheus r in
+  let expect =
+    "# HELP demo_total demo counter\n# TYPE demo_total counter\ndemo_total 7\n\
+     # TYPE demo_hist histogram\n\
+     demo_hist_bucket{le=\"1\"} 1\ndemo_hist_bucket{le=\"10\"} 2\n\
+     demo_hist_bucket{le=\"+Inf\"} 3\ndemo_hist_sum 55.5\ndemo_hist_count 3\n"
+  in
+  Alcotest.(check string) "exposition page" expect page
+
+let test_metrics_json_and_fold () =
+  let r = Metrics.create () in
+  let c = Metrics.counter r "a_total" in
+  Metrics.add c 2;
+  let g = Metrics.gauge r "b_depth" in
+  Metrics.set_gauge g 1.5;
+  let json = Metrics.to_json r in
+  Alcotest.(check string) "json"
+    "{\"metrics\": [{\"name\": \"a_total\", \"type\": \"counter\", \"value\": 2}, \
+     {\"name\": \"b_depth\", \"type\": \"gauge\", \"value\": 1.5}]}"
+    json;
+  let folded =
+    Metrics.fold_values r ~init:[] ~f:(fun acc ~id ~name v ->
+        (id, name, v) :: acc)
+  in
+  Alcotest.(check int) "fold visits all" 2 (List.length folded);
+  let ids = List.rev_map (fun (id, _, _) -> id) folded in
+  Alcotest.(check (list int)) "ids are registration order" [ 0; 1 ] ids
+
+(* ------------------------------------------------------------------ *)
+(* Profile *)
+
+let test_profile_accounting () =
+  Profile.reset ();
+  Profile.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Profile.set_enabled false;
+      Profile.reset ())
+    (fun () ->
+      let r = Profile.time "work" (fun () -> 41 + 1) in
+      Alcotest.(check int) "thunk result returned" 42 r;
+      Profile.record "work" 0.5;
+      Profile.record "other" 0.1;
+      match Profile.categories () with
+      | (cat1, calls1, sec1) :: (cat2, _, _) :: [] ->
+        Alcotest.(check string) "most expensive first" "work" cat1;
+        Alcotest.(check int) "two accounted calls" 2 calls1;
+        Alcotest.(check bool) "seconds accumulated" true (sec1 >= 0.5);
+        Alcotest.(check string) "second category" "other" cat2
+      | rows ->
+        Alcotest.failf "expected 2 categories, got %d" (List.length rows))
+
+let test_profile_disabled_is_passthrough () =
+  Profile.reset ();
+  Profile.set_enabled false;
+  let r = Profile.time "ignored" (fun () -> "ok") in
+  Alcotest.(check string) "passthrough result" "ok" r;
+  Alcotest.(check int) "nothing recorded" 0
+    (List.length (Profile.categories ()))
+
 let quick name f = Alcotest.test_case name `Quick f
 
 let qcheck = QCheck_alcotest.to_alcotest
@@ -531,4 +740,25 @@ let () =
           quick "smooth constant" test_timeseries_smooth;
         ] );
       ("units", [ quick "conversions" test_units; quick "fcmp" test_fcmp ]);
+      ( "trace",
+        [
+          quick "ring keeps newest" test_trace_ring;
+          quick "kind and subject filters" test_trace_filters;
+          quick "null sink disabled" test_trace_null_disabled;
+          quick "disabled path allocates nothing" test_trace_disabled_no_alloc;
+          quick "jsonl file sink" test_trace_jsonl_file;
+          quick "default sink" test_trace_default_sink;
+        ] );
+      ( "metrics",
+        [
+          quick "counter and gauge" test_metrics_counter_gauge;
+          quick "histogram" test_metrics_histogram;
+          quick "prometheus exposition" test_metrics_prometheus;
+          quick "json and fold" test_metrics_json_and_fold;
+        ] );
+      ( "profile",
+        [
+          quick "accounting" test_profile_accounting;
+          quick "disabled passthrough" test_profile_disabled_is_passthrough;
+        ] );
     ]
