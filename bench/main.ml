@@ -4,35 +4,32 @@
 
      dune exec bench/main.exe            # everything, paper scale
      dune exec bench/main.exe -- --quick # scaled-down sweep
+     dune exec bench/main.exe -- -j 4    # shard the sweep over 4 domains
      dune exec bench/main.exe -- fig4a fig9 micro
 
-   Each experiment prints the same rows/series the paper reports, with the
-   paper's numbers quoted for comparison. See EXPERIMENTS.md for the
-   paper-vs-measured record. *)
+   Experiments execute through [Nf_experiments.Runner], so the report
+   text is byte-identical whatever [-j] is; per-experiment wall times
+   (and the parallel speedup) land in BENCH_<rev>.json. The microbench
+   suite always runs sequentially — bechamel owns its own timing. See
+   EXPERIMENTS.md for the paper-vs-measured record. *)
 
 module E = Nf_experiments
 
 let quick = ref false
 
+let jobs = ref 1
+
 let section name =
   Format.printf "@.==== %s ====@." name
 
-(* (name, wall seconds) per experiment, in run order — the raw material of
-   the BENCH_<rev>.json report. *)
-let timings : (string * float) list ref = ref []
-
-let timed name f =
-  section name;
-  let t0 = Unix.gettimeofday () in
-  f ();
-  let dt = Unix.gettimeofday () -. t0 in
-  timings := (name, dt) :: !timings;
-  Format.printf "@.(%s finished in %.1f s)@." name dt
+(* (name, wall seconds, attempts) per experiment, in run order — the raw
+   material of the BENCH_<rev>.json report. *)
+let timings : (string * float * int) list ref = ref []
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable report: BENCH_<rev>.json with per-experiment wall
-   times and the final global metrics registry, for CI artifacts and
-   cross-revision comparison. *)
+   times, the parallel-sweep speedup, and the final global metrics
+   registry, for CI artifacts and cross-revision comparison. *)
 
 let git_rev () =
   match
@@ -58,21 +55,30 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_report ~total =
+let write_report ~total ~sweep_wall ~serial =
   let rev = Option.value (git_rev ()) ~default:"unknown" in
   let path = Printf.sprintf "BENCH_%s.json" rev in
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
   Buffer.add_string b (Printf.sprintf "  \"rev\": \"%s\",\n" (json_escape rev));
   Buffer.add_string b
-    (Printf.sprintf "  \"quick\": %b,\n  \"total_seconds\": %.3f,\n" !quick total);
+    (Printf.sprintf
+       "  \"quick\": %b,\n  \"jobs\": %d,\n  \"total_seconds\": %.3f,\n" !quick
+       !jobs total);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"sweep_wall_seconds\": %.3f,\n  \"serial_seconds\": %.3f,\n\
+       \  \"parallel_speedup\": %.3f,\n"
+       sweep_wall serial
+       (if sweep_wall > 0. then serial /. sweep_wall else 1.));
   Buffer.add_string b "  \"experiments\": [\n";
   let rows = List.rev !timings in
   List.iteri
-    (fun i (name, dt) ->
+    (fun i (name, dt, attempts) ->
       Buffer.add_string b
-        (Printf.sprintf "    {\"name\": \"%s\", \"seconds\": %.3f}%s\n"
-           (json_escape name) dt
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"seconds\": %.3f, \"attempts\": %d}%s\n"
+           (json_escape name) dt attempts
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string b "  ],\n  \"metrics\": ";
@@ -189,34 +195,81 @@ let run_micro () =
 
 (* ------------------------------------------------------------------ *)
 
-let experiments () =
-  List.map
-    (fun e -> (e.E.Registry.name, fun () -> e.E.Registry.run ~quick:!quick))
-    (E.Registry.all ())
-  @ [ ("micro", run_micro) ]
+let usage () =
+  Format.eprintf
+    "usage: main.exe [--quick] [-j N] [NAME ...]  (NAMEs from `nf_run \
+     list', plus \"micro\")@.";
+  exit 2
+
+(* Parse --quick / -j N / --jobs N; everything else is a selection. *)
+let rec parse_args = function
+  | [] -> []
+  | "--" :: rest -> parse_args rest
+  | "--quick" :: rest ->
+    quick := true;
+    parse_args rest
+  | ("-j" | "--jobs") :: n :: rest -> (
+    match int_of_string_opt n with
+    | Some n when n >= 1 ->
+      jobs := n;
+      parse_args rest
+    | _ -> usage ())
+  | ("-j" | "--jobs") :: [] -> usage ()
+  | name :: rest -> name :: parse_args rest
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let args = List.filter (fun a -> a <> "--") args in
-  let quick_flag, selected = List.partition (fun a -> a = "--quick") args in
-  if quick_flag <> [] then quick := true;
-  let experiments = experiments () in
-  let to_run =
+  let selected = parse_args (List.tl (Array.to_list Sys.argv)) in
+  let want_micro, exp_names =
     match selected with
-    | [] -> experiments
-    | names ->
-      List.map
-        (fun name ->
-          match List.assoc_opt name experiments with
-          | Some f -> (name, f)
-          | None ->
-            Format.eprintf "unknown experiment %S; known: %s@." name
-              (String.concat ", " (List.map fst experiments));
-            exit 2)
-        names
+    | [] -> (true, List.map (fun e -> e.E.Registry.name) (E.Registry.all ()))
+    | names -> (List.mem "micro" names, List.filter (( <> ) "micro") names)
   in
+  let tasks =
+    List.map
+      (fun name ->
+        match E.Registry.find name with
+        | Some e -> E.Runner.of_entry e
+        | None ->
+          Format.eprintf "unknown experiment %S; known: %s, micro@." name
+            (String.concat ", " (E.Registry.names ()));
+          exit 2)
+      exp_names
+  in
+  let ctx = if !quick then E.Ctx.quick else E.Ctx.default in
   let t0 = Unix.gettimeofday () in
-  List.iter (fun (name, f) -> timed name f) to_run;
+  let results = E.Runner.run ~jobs:!jobs ~ctx tasks in
+  let sweep_wall = Unix.gettimeofday () -. t0 in
+  let failed = ref false in
+  List.iter
+    (fun (r : E.Runner.result) ->
+      section r.E.Runner.task_name;
+      (match r.E.Runner.outcome with
+      | Ok report -> print_string (E.Report.to_text report)
+      | Error (E.Runner.Timed_out budget) ->
+        failed := true;
+        Format.printf "TIMED OUT (budget %gs)@." budget
+      | Error (E.Runner.Failed msg) ->
+        failed := true;
+        Format.printf "FAILED: %s@." msg);
+      timings := (r.E.Runner.task_name, r.E.Runner.wall, r.E.Runner.attempts) :: !timings;
+      Format.printf "@.(%s finished in %.1f s)@." r.E.Runner.task_name
+        r.E.Runner.wall)
+    results;
+  let serial = E.Runner.total_wall results in
+  if tasks <> [] then
+    Format.printf
+      "@.(sweep: %.1f s wall, %.1f s serial, jobs=%d, speedup %.2fx)@."
+      sweep_wall serial !jobs
+      (if sweep_wall > 0. then serial /. sweep_wall else 1.);
+  if want_micro then begin
+    let t0 = Unix.gettimeofday () in
+    section "micro";
+    run_micro ();
+    let dt = Unix.gettimeofday () -. t0 in
+    timings := ("micro", dt, 1) :: !timings;
+    Format.printf "@.(micro finished in %.1f s)@." dt
+  end;
   let total = Unix.gettimeofday () -. t0 in
   Format.printf "@.All done in %.1f s.@." total;
-  write_report ~total
+  write_report ~total ~sweep_wall ~serial;
+  if !failed then exit 1

@@ -1,37 +1,90 @@
 (* nf_run: command-line front end for the NUMFabric reproduction.
 
-     nf_run list                       enumerate experiments and protocols
+     nf_run list [--json]              enumerate experiments and protocols
      nf_run exp fig4a [--quick]        run one experiment
+     nf_run exp --all -j 4 --json      run the whole sweep on 4 domains
      nf_run exp fig4bc --record out.json   ... and export its run record
      nf_run proto dctcp                smoke-run one transport protocol
      nf_run solve ...                  one-off allocation on a leaf-spine
 
    Experiments come from the [Nf_experiments.Registry]; transport
-   protocols from [Nf_sim.Protocols]. Neither list is maintained here. *)
+   protocols from [Nf_sim.Protocols]. Neither list is maintained here.
+
+   Determinism contract: everything on stdout (text, JSON, CSV) is pure
+   report data and byte-identical whatever [-j] is; timings and the
+   per-task summary go to stderr. *)
 
 module E = Nf_experiments
 
 open Cmdliner
 
+(* Minimal JSON string escaping for the merged-report envelope; the
+   reports themselves are serialized by [Report.to_json]. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 let list_cmd =
   let doc = "List the available experiments and transport protocols." in
-  let run () =
-    Format.printf "Experiments (nf_run exp NAME):@.";
-    List.iter
-      (fun e ->
-        Format.printf "  %-12s %s@." e.E.Registry.name e.E.Registry.description)
-      (E.Registry.all ());
-    Format.printf "@.Transport protocols (nf_run proto NAME):@.";
-    List.iter
-      (fun name ->
-        let p = Nf_sim.Protocols.get name in
-        Format.printf "  %-14s %s@." name (Nf_sim.Protocol.description p))
-      (Nf_sim.Protocols.names ())
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the listing as JSON.")
   in
-  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+  let run json =
+    if json then begin
+      let exps =
+        List.map
+          (fun e ->
+            Printf.sprintf "{\"name\": \"%s\", \"description\": \"%s\"}"
+              (json_escape e.E.Registry.name)
+              (json_escape e.E.Registry.description))
+          (E.Registry.all ())
+      in
+      let protos =
+        List.map
+          (fun name ->
+            let p = Nf_sim.Protocols.get name in
+            Printf.sprintf "{\"name\": \"%s\", \"description\": \"%s\"}"
+              (json_escape name)
+              (json_escape (Nf_sim.Protocol.description p)))
+          (Nf_sim.Protocols.names ())
+      in
+      print_string
+        (Printf.sprintf "{\"experiments\": [%s], \"protocols\": [%s]}\n"
+           (String.concat ", " exps) (String.concat ", " protos))
+    end
+    else begin
+      Format.printf "Experiments (nf_run exp NAME):@.";
+      List.iter
+        (fun e ->
+          Format.printf "  %-12s %s@." e.E.Registry.name e.E.Registry.description)
+        (E.Registry.all ());
+      Format.printf "@.Transport protocols (nf_run proto NAME):@.";
+      List.iter
+        (fun name ->
+          let p = Nf_sim.Protocols.get name in
+          Format.printf "  %-14s %s@." name (Nf_sim.Protocol.description p))
+        (Nf_sim.Protocols.names ())
+    end
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ json_arg)
 
 let quick_arg =
-  let doc = "Run a scaled-down version (for smoke tests)." in
+  let doc =
+    "Run a scaled-down version (for smoke tests). Deprecated spelling of \
+     $(b,--scale) 0.2."
+  in
   Arg.(value & flag & info [ "quick" ] ~doc)
 
 (* Observability flags, shared by `exp' and `proto'. *)
@@ -57,7 +110,8 @@ let profile_arg =
   in
   Arg.(value & flag & info [ "profile" ] ~doc)
 
-(* Install the requested sinks, run [f], then flush/report them. *)
+(* Install the requested sinks, run [f], then flush/report them. The
+   status chatter goes to stderr so stdout stays pure report data. *)
 let with_observability ~trace ~metrics ~profile f =
   let module Trace = Nf_util.Trace in
   let module Metrics = Nf_util.Metrics in
@@ -80,7 +134,7 @@ let with_observability ~trace ~metrics ~profile f =
   | Some (tr, path) ->
     Trace.close tr;
     Trace.set_default Trace.null;
-    Format.printf "(trace: %d events written to %s)@." (Trace.emitted tr) path);
+    Format.eprintf "(trace: %d events written to %s)@." (Trace.emitted tr) path);
   (match metrics with
   | None -> ()
   | Some path -> (
@@ -93,13 +147,13 @@ let with_observability ~trace ~metrics ~profile f =
       output_string oc text;
       close_out oc
     with
-    | () -> Format.printf "(metrics written to %s)@." path
+    | () -> Format.eprintf "(metrics written to %s)@." path
     | exception Sys_error msg ->
       Format.eprintf "cannot write metrics: %s@." msg;
       exit 1));
   if profile then begin
     Profile.set_enabled false;
-    Format.printf "@.Where did the time go:@.%a@." Profile.pp_table ()
+    Format.eprintf "@.Where did the time go:@.%a@." Profile.pp_table ()
   end
 
 let record_arg =
@@ -117,44 +171,216 @@ let export_records path =
     output_char oc '\n';
     close_out oc
   with
-  | () -> Format.printf "(run record written to %s)@." path
+  | () -> Format.eprintf "(run record written to %s)@." path
   | exception Sys_error msg ->
     Format.eprintf "cannot write run record: %s@." msg;
     exit 1
 
-let exp_cmd =
-  let doc = "Run one experiment by name (see $(b,nf_run list))." in
-  let name_arg =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME")
+(* ------------------------------------------------------------------ *)
+(* exp: run one experiment or the whole sweep through [Runner]. *)
+
+let failure_text = function
+  | E.Runner.Timed_out budget ->
+    Printf.sprintf "timed out (no attempt finished within %gs)" budget
+  | E.Runner.Failed msg -> Printf.sprintf "failed: %s" msg
+
+let render_text ~all results =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (r : E.Runner.result) ->
+      if all then Buffer.add_string buf (Printf.sprintf "==== %s ====\n" r.E.Runner.task_name);
+      (match r.E.Runner.outcome with
+      | Ok report -> Buffer.add_string buf (E.Report.to_text report)
+      | Error f ->
+        Buffer.add_string buf (Printf.sprintf "%s: %s\n" r.E.Runner.task_name (failure_text f)));
+      if all then Buffer.add_char buf '\n')
+    results;
+  Buffer.contents buf
+
+let report_json_entry (r : E.Runner.result) =
+  match r.E.Runner.outcome with
+  | Ok report ->
+    Printf.sprintf "{\"name\": \"%s\", \"status\": \"ok\", \"report\": %s}"
+      (json_escape r.E.Runner.task_name)
+      (E.Report.to_json report)
+  | Error (E.Runner.Timed_out budget) ->
+    Printf.sprintf
+      "{\"name\": \"%s\", \"status\": \"timed_out\", \"error\": \"no attempt \
+       finished within %gs\"}"
+      (json_escape r.E.Runner.task_name) budget
+  | Error (E.Runner.Failed msg) ->
+    Printf.sprintf "{\"name\": \"%s\", \"status\": \"failed\", \"error\": \"%s\"}"
+      (json_escape r.E.Runner.task_name) (json_escape msg)
+
+(* The merged envelope records the context (so a consumer can tell a
+   --quick artifact from a full one) but no wall-clock data. *)
+let render_json ~scale ~seed results =
+  Printf.sprintf "{\"scale\": %.12g, \"seed\": %d, \"reports\": [%s]}\n" scale
+    seed
+    (String.concat ", " (List.map report_json_entry results))
+
+let render_csv ~all results =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (r : E.Runner.result) ->
+      if all then
+        Buffer.add_string buf (Printf.sprintf "# experiment: %s\n" r.E.Runner.task_name);
+      (match r.E.Runner.outcome with
+      | Ok report -> Buffer.add_string buf (E.Report.to_csv report)
+      | Error f ->
+        Buffer.add_string buf
+          (Printf.sprintf "# %s %s\n" r.E.Runner.task_name (failure_text f)));
+      if all then Buffer.add_char buf '\n')
+    results;
+  Buffer.contents buf
+
+let write_output ~out data =
+  match out with
+  | None -> print_string data
+  | Some path -> (
+    match
+      let oc = open_out path in
+      output_string oc data;
+      close_out oc
+    with
+    | () -> Format.eprintf "(report written to %s)@." path
+    | exception Sys_error msg ->
+      Format.eprintf "cannot write report: %s@." msg;
+      exit 1)
+
+let run_experiments name all jobs timeout retries quick scale seed json csv out
+    record trace metrics profile =
+  let tasks =
+    if all then List.map E.Runner.of_entry (E.Registry.all ())
+    else
+      match name with
+      | None ->
+        Format.eprintf "give an experiment NAME or --all; try `nf_run list'@.";
+        exit 2
+      | Some n -> (
+        match E.Registry.find n with
+        | Some e -> [ E.Runner.of_entry e ]
+        | None ->
+          Format.eprintf "unknown experiment %S; try `nf_run list'@." n;
+          exit 2)
   in
-  let run name quick record trace metrics profile =
-    match E.Registry.find name with
-    | Some e ->
-      E.Support.reset_records ();
-      with_observability ~trace ~metrics ~profile (fun () ->
-          let t0 = Unix.gettimeofday () in
-          e.E.Registry.run ~quick;
-          Format.printf "(finished in %.1f s)@." (Unix.gettimeofday () -. t0));
-      (match record with Some path -> export_records path | None -> ())
-    | None ->
-      Format.eprintf "unknown experiment %S; try `nf_run list'@." name;
+  if json && csv then begin
+    Format.eprintf "choose at most one of --json and --csv@.";
+    exit 2
+  end;
+  let scale =
+    match scale with Some s -> s | None -> if quick then 0.2 else 1.0
+  in
+  let ctx =
+    match E.Ctx.make ~scale ~seed () with
+    | ctx -> ctx
+    | exception Invalid_argument msg ->
+      Format.eprintf "%s@." msg;
       exit 2
+  in
+  let jobs =
+    (* The profiler and the default trace sink are process-global and not
+       domain-safe; observability runs are forced serial. *)
+    if jobs > 1 && (profile || trace <> None) then begin
+      Format.eprintf "(--profile/--trace are not domain-safe; forcing -j 1)@.";
+      1
+    end
+    else jobs
+  in
+  E.Support.reset_records ();
+  let results = ref [] in
+  let t0 = Unix.gettimeofday () in
+  with_observability ~trace ~metrics ~profile (fun () ->
+      results := E.Runner.run ~jobs ?timeout ~retries ~ctx tasks);
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let results = !results in
+  let data =
+    if json then render_json ~scale ~seed results
+    else if csv then render_csv ~all results
+    else render_text ~all results
+  in
+  write_output ~out data;
+  (match record with Some path -> export_records path | None -> ());
+  let serial = E.Runner.total_wall results in
+  Format.eprintf "%a" E.Runner.pp_summary results;
+  Format.eprintf
+    "(ran %d experiment%s in %.1f s wall; %.1f s serial; jobs=%d; speedup \
+     %.2fx)@."
+    (List.length results)
+    (if List.length results = 1 then "" else "s")
+    elapsed serial jobs
+    (if elapsed > 0. then serial /. elapsed else 1.);
+  if
+    List.exists
+      (fun r -> match r.E.Runner.outcome with Ok _ -> false | Error _ -> true)
+      results
+  then exit 1
+
+let jobs_arg =
+  let doc =
+    "Worker-pool width: shard the experiments across $(docv) domains. \
+     Output is byte-identical whatever $(docv) is."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let timeout_arg =
+  let doc =
+    "Per-experiment wall-clock budget in seconds; a timed-out attempt is \
+     abandoned and retried (see --retries)."
+  in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+
+let retries_arg =
+  let doc =
+    "Extra attempts after a transient failure (solver non-convergence, \
+     timeout); each retry perturbs the experiment's RNG seed."
+  in
+  Arg.(value & opt int 1 & info [ "retries" ] ~docv:"N" ~doc)
+
+let scale_arg =
+  let doc =
+    "Scenario scale factor: 1.0 is the paper's setup, 0.2 the smoke \
+     scale. Overrides --quick."
+  in
+  Arg.(value & opt (some float) None & info [ "scale" ] ~docv:"S" ~doc)
+
+let seed_arg =
+  let doc = "RNG seed base, offset per task; 0 reproduces EXPERIMENTS.md." in
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let json_flag = Arg.(value & flag & info [ "json" ] ~doc:"Emit reports as JSON.")
+
+let csv_flag = Arg.(value & flag & info [ "csv" ] ~doc:"Emit reports as CSV.")
+
+let out_arg =
+  let doc = "Write the rendered reports to $(docv) instead of stdout." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let exp_cmd =
+  let doc =
+    "Run one experiment by name, or the whole sweep with $(b,--all) \
+     (see $(b,nf_run list))."
+  in
+  let name_arg = Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME") in
+  let all_arg =
+    Arg.(value & flag & info [ "all" ] ~doc:"Run every registered experiment.")
   in
   Cmd.v (Cmd.info "exp" ~doc)
     Term.(
-      const run $ name_arg $ quick_arg $ record_arg $ trace_arg $ metrics_arg
-      $ profile_arg)
+      const run_experiments $ name_arg $ all_arg $ jobs_arg $ timeout_arg
+      $ retries_arg $ quick_arg $ scale_arg $ seed_arg $ json_flag $ csv_flag
+      $ out_arg $ record_arg $ trace_arg $ metrics_arg $ profile_arg)
 
 let all_cmd =
-  let doc = "Run every experiment in sequence." in
-  let run quick =
-    List.iter
-      (fun e ->
-        Format.printf "@.==== %s ====@." e.E.Registry.name;
-        e.E.Registry.run ~quick)
-      (E.Registry.all ())
+  let doc = "Run every experiment (alias for $(b,exp --all))." in
+  let run jobs timeout retries quick scale seed json csv out record =
+    run_experiments None true jobs timeout retries quick scale seed json csv
+      out record None None false
   in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ quick_arg)
+  Cmd.v (Cmd.info "all" ~doc)
+    Term.(
+      const run $ jobs_arg $ timeout_arg $ retries_arg $ quick_arg $ scale_arg
+      $ seed_arg $ json_flag $ csv_flag $ out_arg $ record_arg)
 
 (* Smoke-run one registered transport: two finite flows over a shared
    10 Gbps bottleneck, report FCTs and the link counters. Exercises the

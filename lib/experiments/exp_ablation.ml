@@ -111,6 +111,27 @@ let run ?(seed = 4) ?(n_events = 25) () =
   in
   { beta_sweep; eta_sweep; residual_agg; burst_sweep; weight_quant }
 
+let report t =
+  let rows sweep variants =
+    List.map
+      (fun v ->
+        [
+          Report.text sweep;
+          Report.text v.label;
+          Report.float (v.median *. 1e6);
+          Report.int v.unconverged;
+        ])
+      variants
+  in
+  Report.make ~title:"Ablations (semi-dynamic convergence)"
+    ~columns:[ "sweep"; "variant"; "median_us"; "unconverged" ]
+    (rows "price averaging beta (Eq. 11)" t.beta_sweep
+    @ rows "utilization gain eta (Eq. 10)" t.eta_sweep
+    @ rows "Eq. 9 residual aggregation" t.residual_agg
+    @ rows "Swift initial burst (packet level)" t.burst_sweep
+    @ rows "discrete weight classes (packet level, §8 WFQ approximation)"
+        t.weight_quant)
+
 let pp_variants ppf title variants =
   Format.fprintf ppf "  %s@," title;
   List.iter

@@ -68,6 +68,45 @@ let run ?(alpha = 5.) ?(switch_at = 5e-3) ?(duration = 10e-3) () =
     achieved_after = final;
   }
 
+let report t =
+  let g x = x /. 1e9 in
+  let grid =
+    Nf_util.Timeseries.resample t.series1 ~t0:0.5e-3 ~t1:10e-3 ~dt:0.5e-3
+  in
+  Report.make
+    ~title:
+      "Figure 10: bandwidth functions + resource pooling, middle link 5 -> 17 \
+       Gbps"
+    ~columns:[ "t_ms"; "flow1_gbps"; "flow2_gbps" ]
+    ~notes:
+      [
+        Printf.sprintf
+          "before switch: flow1 %.2f Gbps (expected %.2f), flow2 %.2f \
+           (expected %.2f)"
+          (g (fst t.achieved_before))
+          (g (fst t.expected_before))
+          (g (snd t.achieved_before))
+          (g (snd t.expected_before));
+        Printf.sprintf
+          "after switch: flow1 %.2f Gbps (expected %.2f), flow2 %.2f \
+           (expected %.2f)"
+          (g (fst t.achieved_after))
+          (g (fst t.expected_after))
+          (g (snd t.achieved_after))
+          (g (snd t.expected_after));
+      ]
+    (List.map
+       (fun (time, v1) ->
+         let v2 =
+           match Nf_util.Timeseries.value_at t.series2 time with
+           | Some v -> v
+           | None -> Float.nan
+         in
+         [
+           Report.float (time *. 1e3); Report.float (g v1); Report.float (g v2);
+         ])
+       grid)
+
 let pp ppf t =
   let g x = x /. 1e9 in
   Format.fprintf ppf

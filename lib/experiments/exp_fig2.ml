@@ -34,6 +34,34 @@ let run ?(alpha = 5.) () =
   in
   [ point (gbps 10.); point (gbps 25.) ]
 
+let report t =
+  Report.make
+    ~title:
+      "Figure 2: bandwidth functions on one link (water-filling vs NUM with \
+       the derived utility)"
+    ~columns:
+      [
+        "capacity_gbps";
+        "waterfill_flow1_gbps";
+        "waterfill_flow2_gbps";
+        "fair_share";
+        "num_flow1_gbps";
+        "num_flow2_gbps";
+      ]
+    ~notes:
+      [ "paper: at 10 Gbps flow1 takes all; at 25 Gbps flow1 = 15, flow2 = 10" ]
+    (List.map
+       (fun p ->
+         [
+           Report.float (p.capacity /. 1e9);
+           Report.float (p.waterfill.(0) /. 1e9);
+           Report.float (p.waterfill.(1) /. 1e9);
+           Report.float p.fair_share;
+           Report.float (p.num.(0) /. 1e9);
+           Report.float (p.num.(1) /. 1e9);
+         ])
+       t)
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>Figure 2: bandwidth functions on one link (water-filling vs NUM \

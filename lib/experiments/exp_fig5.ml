@@ -97,6 +97,44 @@ let run ?(seed = 3) ?(n_flows = 1200) ?(load = 0.5) ?(n_leaves = 4)
         ~hosts:ls.Nf_topo.Builders.servers ~n_flows ~load dist)
     [ Nf_workload.Size_dist.websearch; Nf_workload.Size_dist.enterprise ]
 
+let report t =
+  Report.make
+    ~title:
+      "Figure 5: normalized deviation from ideal (Oracle) rates by flow size \
+       (in BDP = 20 KB)"
+    ~columns:
+      [ "workload"; "scheme"; "bin_lo_bdp"; "bin_hi_bdp"; "n"; "p25"; "p50"; "p75" ]
+    ~notes:
+      [
+        "paper: NUMFabric's median deviation ~0 beyond ~5 BDP; DGD/RCP* \
+         negatively biased, worst for small flows";
+      ]
+    (List.concat_map
+       (fun w ->
+         List.concat_map
+           (fun s ->
+             List.map
+               (fun b ->
+                 let lo, hi = b.bin in
+                 let p sel =
+                   match b.box with
+                   | Some box -> Report.float (sel box)
+                   | None -> Report.float Float.nan
+                 in
+                 [
+                   Report.text w.workload;
+                   Report.text s.scheme;
+                   Report.float lo;
+                   Report.float hi;
+                   Report.int b.count;
+                   p (fun box -> box.Stats.p25);
+                   p (fun box -> box.Stats.p50);
+                   p (fun box -> box.Stats.p75);
+                 ])
+               s.per_bin)
+           w.schemes)
+       t)
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>Figure 5: normalized deviation from ideal (Oracle) rates by flow \

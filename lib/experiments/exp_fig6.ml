@@ -42,6 +42,26 @@ let run_dt ?(seed = 11) ?(n_events = 5)
       })
     dts
 
+let point_rows ~x_scale t =
+  List.map
+    (fun p ->
+      [
+        Report.float (p.x *. x_scale);
+        Report.float (p.median *. 1e6);
+        Report.int p.unconverged;
+      ])
+    t
+
+let report_dt t =
+  Report.make ~title:"Figure 6a: sensitivity to Swift's dt (packet level)"
+    ~columns:[ "dt_us"; "median_us"; "unconverged" ]
+    ~notes:
+      [
+        "paper: very small dt fails to converge; large dt slows convergence; \
+         sweet spot ~6 us";
+      ]
+    (point_rows ~x_scale:1e6 t)
+
 let pp_dt ppf t =
   Format.fprintf ppf
     "@[<v>Figure 6a: sensitivity to Swift's dt (packet level)@,\
@@ -91,6 +111,14 @@ let run_interval ?(seed = 2) ?(n_events = 25)
         unconverged = r.Support.unconverged;
       })
     intervals
+
+let report_interval t =
+  Report.make
+    ~title:"Figure 6b: sensitivity to the price update interval (fluid)"
+    ~columns:[ "interval_us"; "median_us"; "unconverged" ]
+    ~notes:
+      [ "paper: median convergence time grows with the update interval" ]
+    (point_rows ~x_scale:1e6 t)
 
 let pp_interval ppf t =
   Format.fprintf ppf
@@ -159,6 +187,34 @@ let run_alpha ?(seed = 2) ?(n_events = 25)
       in
       { alpha; fast; slow })
     alphas
+
+let report_alpha t =
+  Report.make
+    ~title:
+      "Figure 6c: sensitivity to alpha (fluid; 1x and 2x-slowed control loop)"
+    ~columns:
+      [
+        "alpha";
+        "fast_median_us";
+        "fast_unconverged";
+        "slow_median_us";
+        "slow_unconverged";
+      ]
+    ~notes:
+      [
+        "paper: extreme alphas need the slowed loop; the slowdown costs a \
+         modest increase in median time";
+      ]
+    (List.map
+       (fun p ->
+         [
+           Report.float p.alpha;
+           Report.float (p.fast.median *. 1e6);
+           Report.int p.fast.unconverged;
+           Report.float (p.slow.median *. 1e6);
+           Report.int p.slow.unconverged;
+         ])
+       t)
 
 let pp_alpha ppf t =
   Format.fprintf ppf

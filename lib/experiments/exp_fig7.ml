@@ -89,6 +89,42 @@ let run ?(seed = 5) ?(n_flows = 800)
       })
     loads
 
+let report t =
+  Report.make
+    ~title:
+      "Figure 7: normalized FCT vs load, websearch workload (FCT / \
+       lowest-possible FCT)"
+    ~columns:
+      [
+        "load";
+        "numfabric_all";
+        "pfabric_all";
+        "ratio_all";
+        "numfabric_large";
+        "pfabric_large";
+        "ratio_large";
+        "srpt_weights_large";
+      ]
+    ~notes:
+      [
+        "paper: NUMFabric within 4-20% of pFabric across loads; in this fluid \
+         reproduction sub-BDP flows are quantized by the 60 us xWI round, \
+         which inflates the all-flows mean — see EXPERIMENTS.md";
+      ]
+    (List.map
+       (fun p ->
+         [
+           Report.float p.load;
+           Report.float p.numfabric_mean;
+           Report.float p.pfabric_mean;
+           Report.float (p.numfabric_mean /. p.pfabric_mean);
+           Report.float p.numfabric_large;
+           Report.float p.pfabric_large;
+           Report.float (p.numfabric_large /. p.pfabric_large);
+           Report.float p.srpt_weights_large;
+         ])
+       t)
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>Figure 7: normalized FCT vs load, websearch workload (FCT / \

@@ -48,6 +48,36 @@ let max_rel_error t =
            p.expected))
     0. t
 
+let report t =
+  Report.make
+    ~title:
+      "Figure 9: bandwidth-function allocation vs link capacity (expected | \
+       NUMFabric fluid)"
+    ~columns:
+      [
+        "capacity_gbps";
+        "flow1_expected_gbps";
+        "flow1_achieved_gbps";
+        "flow2_expected_gbps";
+        "flow2_achieved_gbps";
+      ]
+    ~notes:
+      [
+        Printf.sprintf "max relative error: %.2f%%" (100. *. max_rel_error t);
+        "paper: allocation almost identical to the expected one at all \
+         capacities";
+      ]
+    (List.map
+       (fun p ->
+         [
+           Report.float (p.capacity /. 1e9);
+           Report.float (p.expected.(0) /. 1e9);
+           Report.float (p.achieved.(0) /. 1e9);
+           Report.float (p.expected.(1) /. 1e9);
+           Report.float (p.achieved.(1) /. 1e9);
+         ])
+       t)
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>Figure 9: bandwidth-function allocation vs link capacity \

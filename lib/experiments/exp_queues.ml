@@ -74,6 +74,26 @@ let run () =
       ~protocol:(Nf_sim.Protocols.get "dctcp") ~config:Nf_sim.Config.default ();
   ]
 
+let report t =
+  Report.make
+    ~title:
+      "Queue occupancy at the bottleneck after convergence (packets of 1500 B)"
+    ~columns:[ "case"; "expected_pkts"; "mean_pkts"; "p95_pkts" ]
+    ~notes:
+      [
+        "paper: NUMFabric equilibrium queues are a few packets, set by dt; dt \
+         = 6 us targets ~5 packets";
+      ]
+    (List.map
+       (fun p ->
+         [
+           Report.text p.label;
+           Report.float p.expected_pkts;
+           Report.float p.mean_pkts;
+           Report.float p.p95_pkts;
+         ])
+       t)
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>Queue occupancy at the bottleneck after convergence (packets of \

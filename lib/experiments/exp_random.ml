@@ -93,6 +93,39 @@ let run ?(seed = 17) ?(instances_per_alpha = 40)
       })
     alphas
 
+let report t =
+  Report.make
+    ~title:
+      "Randomized xWI validation (random topologies/flows/weights; KKT \
+       tolerance 1e-4)"
+    ~columns:
+      [
+        "alpha";
+        "instances";
+        "converged";
+        "iters_p50";
+        "iters_p95";
+        "max_rate_error_vs_dual";
+        "dual_checks";
+      ]
+    ~notes:
+      [
+        "paper / tech report: xWI converges to the NUM optimum across \
+         randomly generated instances";
+      ]
+    (List.map
+       (fun s ->
+         [
+           Report.float s.alpha;
+           Report.int s.instances;
+           Report.int s.converged;
+           Report.float s.iters_p50;
+           Report.float s.iters_p95;
+           Report.float s.max_rate_error_vs_dual;
+           Report.int s.dual_checks;
+         ])
+       t)
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>Randomized xWI validation (random topologies/flows/weights; KKT \

@@ -71,6 +71,23 @@ let run ?(seed = 21) ?(n_flows = 12) ?(duration = 8e-3) () =
   in
   { flows; max_rel_error }
 
+let report t =
+  Report.make
+    ~title:
+      "Swift validation: packet-level weighted max-min vs water-filling oracle"
+    ~columns:[ "flow"; "weight"; "expected_gbps"; "measured_gbps" ]
+    ~notes:
+      [ Printf.sprintf "max relative error: %.2f%%" (100. *. t.max_rel_error) ]
+    (List.map
+       (fun f ->
+         [
+           Report.int f.flow;
+           Report.float f.weight;
+           Report.float (f.expected /. 1e9);
+           Report.float (f.measured /. 1e9);
+         ])
+       t.flows)
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>Swift validation: packet-level weighted max-min vs water-filling \

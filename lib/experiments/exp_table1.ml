@@ -108,6 +108,23 @@ let run () =
     bf_row;
   ]
 
+let report t =
+  Report.make
+    ~title:
+      "Table 1: allocation objectives as utility functions (Oracle allocations)"
+    ~columns:[ "objective"; "flow"; "rate_gbps" ]
+    (List.concat_map
+       (fun r ->
+         List.mapi
+           (fun i name ->
+             [
+               Report.text r.objective;
+               Report.text name;
+               Report.float (r.rates.(i) /. 1e9);
+             ])
+           r.flows)
+       t)
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>Table 1: allocation objectives as utility functions (Oracle \

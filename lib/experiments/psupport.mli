@@ -3,7 +3,14 @@
     EWMA rate measurement (80 µs time constant) and the paper's
     convergence criterion (95% of flows within 10% of the Oracle rates,
     sustained), correcting for the measurement filter's rise time as in
-    §6.1. *)
+    §6.1.
+
+    Determinism: everything random here derives from [setup.seed] through
+    an explicit [Nf_util.Rng.t] — there is no process-global random
+    state — and the simulated network is built afresh per call, so
+    [semidyn] is safe to run on {!Runner} worker domains and its result
+    depends only on its arguments (callers derive [seed] from
+    {!Ctx.rng_seed}). *)
 
 type setup = {
   seed : int;

@@ -1,7 +1,7 @@
 type entry = {
   name : string;
   description : string;
-  run : quick:bool -> unit;  (* prints its report on stdout *)
+  run : Ctx.t -> Report.t;
 }
 
 let entries : (string, entry) Hashtbl.t = Hashtbl.create 32
@@ -22,75 +22,108 @@ let names () = List.rev !order
 
 (* ------------------------------------------------------------------ *)
 (* The built-in experiments (the paper's tables and figures plus the
-   validation/ablation extras). *)
+   validation/ablation extras). Each adapter maps the context onto the
+   experiment's scenario knobs: sizes shrink with [Ctx.scaled] (so the
+   old --quick run is scale = 0.2) and seeds derive from [Ctx.rng_seed]
+   over the experiment's historical default (so the default context
+   reproduces the records in EXPERIMENTS.md). *)
 
 let () =
   register ~name:"table1" ~description:"utility-function menu (Table 1)"
-    (fun ~quick:_ -> Format.printf "%a@." Exp_table1.pp (Exp_table1.run ()));
+    (fun _ctx -> Exp_table1.report (Exp_table1.run ()));
   register ~name:"table2" ~description:"default parameters (Table 2)"
-    (fun ~quick:_ -> Format.printf "%a@." Exp_table2.pp ());
+    (fun _ctx -> Exp_table2.report (Exp_table2.run ()));
   register ~name:"fig2"
     ~description:"bandwidth-function water-filling example (Figure 2)"
-    (fun ~quick:_ -> Format.printf "%a@." Exp_fig2.pp (Exp_fig2.run ()));
+    (fun _ctx -> Exp_fig2.report (Exp_fig2.run ()));
   register ~name:"fig4a"
     ~description:"convergence-time CDF, NUMFabric vs DGD vs RCP* (Figure 4a)"
-    (fun ~quick ->
-      let n_events = if quick then 20 else 100 in
-      Format.printf "%a@." Exp_fig4a.pp (Exp_fig4a.run ~n_events ()));
+    (fun ctx ->
+      Exp_fig4a.report
+        (Exp_fig4a.run
+           ~seed:(Ctx.rng_seed ctx ~default:1)
+           ~n_events:(Ctx.scaled ctx ~floor:8 100)
+           ()));
   register ~name:"fig4a-packet"
     ~description:"Figure 4a's comparison at packet level (reduced scale)"
-    (fun ~quick ->
-      let n_events = if quick then 3 else 5 in
-      Format.printf "%a@." Exp_fig4a.pp_packet (Exp_fig4a.run_packet ~n_events ()));
+    (fun ctx ->
+      Exp_fig4a.report_packet
+        (Exp_fig4a.run_packet
+           ~seed:(Ctx.rng_seed ctx ~default:11)
+           ~n_events:(Ctx.scaled ctx ~floor:3 5)
+           ()));
   register ~name:"fig4bc"
     ~description:"packet-level rate stability, DCTCP vs NUMFabric (Figures 4b/4c)"
-    (fun ~quick:_ -> Format.printf "%a@." Exp_fig4bc.pp (Exp_fig4bc.run ()));
+    (fun _ctx -> Exp_fig4bc.report (Exp_fig4bc.run ()));
   register ~name:"fig5"
     ~description:"deviation from ideal rates, dynamic workloads (Figure 5)"
-    (fun ~quick ->
-      let n_flows = if quick then 400 else 1500 in
-      Format.printf "%a@." Exp_fig5.pp (Exp_fig5.run ~n_flows ()));
+    (fun ctx ->
+      Exp_fig5.report
+        (Exp_fig5.run
+           ~seed:(Ctx.rng_seed ctx ~default:3)
+           ~n_flows:(Ctx.scaled ctx ~floor:250 1500)
+           ()));
   register ~name:"fig6a"
     ~description:"sensitivity to Swift's dt, packet level (Figure 6a)"
-    (fun ~quick ->
-      let n_events = if quick then 3 else 6 in
-      Format.printf "%a@." Exp_fig6.pp_dt (Exp_fig6.run_dt ~n_events ()));
+    (fun ctx ->
+      Exp_fig6.report_dt
+        (Exp_fig6.run_dt
+           ~seed:(Ctx.rng_seed ctx ~default:11)
+           ~n_events:(Ctx.scaled ctx ~floor:3 6)
+           ()));
   register ~name:"fig6b"
     ~description:"sensitivity to the price-update interval (Figure 6b)"
-    (fun ~quick ->
-      let n_events = if quick then 10 else 30 in
-      Format.printf "%a@." Exp_fig6.pp_interval (Exp_fig6.run_interval ~n_events ()));
+    (fun ctx ->
+      Exp_fig6.report_interval
+        (Exp_fig6.run_interval
+           ~seed:(Ctx.rng_seed ctx ~default:2)
+           ~n_events:(Ctx.scaled ctx ~floor:6 30)
+           ()));
   register ~name:"fig6c"
     ~description:"sensitivity to alpha, 1x and 2x-slowed loops (Figure 6c)"
-    (fun ~quick ->
-      let n_events = if quick then 10 else 30 in
-      Format.printf "%a@." Exp_fig6.pp_alpha (Exp_fig6.run_alpha ~n_events ()));
+    (fun ctx ->
+      Exp_fig6.report_alpha
+        (Exp_fig6.run_alpha
+           ~seed:(Ctx.rng_seed ctx ~default:2)
+           ~n_events:(Ctx.scaled ctx ~floor:6 30)
+           ()));
   register ~name:"fig7"
     ~description:"FCT vs load, NUMFabric vs pFabric (Figure 7)"
-    (fun ~quick ->
-      let n_flows = if quick then 300 else 1000 in
-      Format.printf "%a@." Exp_fig7.pp (Exp_fig7.run ~n_flows ()));
+    (fun ctx ->
+      Exp_fig7.report
+        (Exp_fig7.run
+           ~seed:(Ctx.rng_seed ctx ~default:5)
+           ~n_flows:(Ctx.scaled ctx ~floor:300 1000)
+           ()));
   register ~name:"fig8" ~description:"multipath resource pooling (Figure 8)"
-    (fun ~quick:_ -> Format.printf "%a@." Exp_fig8.pp (Exp_fig8.run ()));
+    (fun ctx ->
+      Exp_fig8.report (Exp_fig8.run ~seed:(Ctx.rng_seed ctx ~default:7) ()));
   register ~name:"fig9"
     ~description:"bandwidth functions vs link capacity (Figure 9)"
-    (fun ~quick:_ -> Format.printf "%a@." Exp_fig9.pp (Exp_fig9.run ()));
+    (fun _ctx -> Exp_fig9.report (Exp_fig9.run ()));
   register ~name:"fig10"
     ~description:"bandwidth functions + pooling, capacity change (Figure 10)"
-    (fun ~quick:_ -> Format.printf "%a@." Exp_fig10.pp (Exp_fig10.run ()));
+    (fun _ctx -> Exp_fig10.report (Exp_fig10.run ()));
   register ~name:"swift"
     ~description:"packet-level Swift vs weighted max-min oracle"
-    (fun ~quick:_ -> Format.printf "%a@." Exp_swift.pp (Exp_swift.run ()));
+    (fun ctx ->
+      Exp_swift.report (Exp_swift.run ~seed:(Ctx.rng_seed ctx ~default:21) ()));
   register ~name:"queues"
     ~description:"equilibrium queue occupancy vs dt (packet level)"
-    (fun ~quick:_ -> Format.printf "%a@." Exp_queues.pp (Exp_queues.run ()));
+    (fun _ctx -> Exp_queues.report (Exp_queues.run ()));
   register ~name:"random"
     ~description:"randomized xWI validation (tech-report style)"
-    (fun ~quick ->
-      let instances_per_alpha = if quick then 10 else 40 in
-      Format.printf "%a@." Exp_random.pp (Exp_random.run ~instances_per_alpha ()));
+    (fun ctx ->
+      Exp_random.report
+        (Exp_random.run
+           ~seed:(Ctx.rng_seed ctx ~default:17)
+           ~instances_per_alpha:(Ctx.scaled ctx ~floor:8 40)
+           ()));
   register ~name:"ablation"
     ~description:"design-choice ablations (beta, eta, residual aggregation, burst)"
-    (fun ~quick ->
-      let n_events = if quick then 10 else 25 in
-      Format.printf "%a@." Exp_ablation.pp (Exp_ablation.run ~n_events ()))
+    (fun ctx ->
+      Exp_ablation.report
+        (Exp_ablation.run
+           ~seed:(Ctx.rng_seed ctx ~default:4)
+           ~n_events:(Ctx.scaled ctx ~floor:5 25)
+           ()))

@@ -226,16 +226,30 @@ let pp_cdf_summary ppf samples =
 (* ------------------------------------------------------------------ *)
 (* Run-record collection: experiments deposit the Record.t of each
    packet-level network they ran; the CLI exports the collection after
-   the experiment returns ([nf_run exp NAME --record out.json]). *)
+   the experiment returns ([nf_run exp NAME --record out.json]).
+
+   The collection is process-global shared state, and Runner executes
+   experiments on worker domains — so deposits are mutex-protected and
+   the JSON export is sorted by label, which keeps the exported bytes
+   independent of domain scheduling. (Everything else the experiments
+   touch is task-local: every RNG is an explicit Nf_util.Rng.t created
+   from a Ctx-derived seed; there is no process-global random state.) *)
+
+let records_mutex = Mutex.create ()
 
 let collected_records : (string * Nf_sim.Record.t) list ref = ref []
 
-let reset_records () = collected_records := []
+let with_records f =
+  Mutex.lock records_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock records_mutex) f
+
+let reset_records () = with_records (fun () -> collected_records := [])
 
 let keep_record ~label record =
-  collected_records := (label, record) :: !collected_records
+  with_records (fun () ->
+      collected_records := (label, record) :: !collected_records)
 
-let records () = List.rev !collected_records
+let records () = with_records (fun () -> List.rev !collected_records)
 
 let records_json () =
   let runs =
@@ -243,6 +257,6 @@ let records_json () =
       (fun (label, record) ->
         Printf.sprintf "{\"label\": %S, \"record\": %s}" label
           (Nf_sim.Record.to_json record))
-      (records ())
+      (List.sort (fun (a, _) (b, _) -> String.compare a b) (records ()))
   in
   Printf.sprintf "{\"runs\": [%s]}" (String.concat ", " runs)

@@ -113,14 +113,19 @@ val pp_cdf_summary : Format.formatter -> float array -> unit
 
     Packet-level experiments deposit each network's {!Nf_sim.Record.t}
     here ({!keep_record}); the CLI resets the collection before a run and
-    exports it afterwards ([nf_run exp NAME --record out.json]). *)
+    exports it afterwards ([nf_run exp NAME --record out.json]).
+    Deposits are mutex-protected (experiments may run on {!Runner}
+    worker domains) and the JSON export is sorted by label so its bytes
+    do not depend on scheduling. *)
 
 val reset_records : unit -> unit
 
 val keep_record : label:string -> Nf_sim.Record.t -> unit
 
 val records : unit -> (string * Nf_sim.Record.t) list
-(** Records kept since the last reset, in deposit order. *)
+(** Records kept since the last reset, in deposit order (deposit order
+    is scheduling-dependent under a parallel runner). *)
 
 val records_json : unit -> string
-(** [{"runs": [{"label": ..., "record": <Record.to_json>}, ...]}]. *)
+(** [{"runs": [{"label": ..., "record": <Record.to_json>}, ...]}],
+    sorted by label. *)
