@@ -26,6 +26,10 @@ let section name =
    material of the BENCH_<rev>.json report. *)
 let timings : (string * float * int) list ref = ref []
 
+(* Raw kernel throughputs (events/sec, iterations/sec) from the wall-clock
+   loops below; lands in the report's "kernels" object. *)
+let kernel_rates : (string * float) list ref = ref []
+
 (* ------------------------------------------------------------------ *)
 (* Machine-readable report: BENCH_<rev>.json with per-experiment wall
    times, the parallel-sweep speedup, and the final global metrics
@@ -81,7 +85,15 @@ let write_report ~total ~sweep_wall ~serial =
            (json_escape name) dt attempts
            (if i = List.length rows - 1 then "" else ",")))
     rows;
-  Buffer.add_string b "  ],\n  \"metrics\": ";
+  Buffer.add_string b "  ],\n  \"kernels\": {";
+  let kernels = List.rev !kernel_rates in
+  List.iteri
+    (fun i (name, per_sec) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s\"%s\": %.0f" (if i = 0 then "" else ", ")
+           (json_escape name) per_sec))
+    kernels;
+  Buffer.add_string b "},\n  \"metrics\": ";
   Buffer.add_string b (Nf_util.Metrics.to_json Nf_util.Metrics.global);
   Buffer.add_string b "\n}\n";
   let oc = open_out path in
@@ -170,6 +182,95 @@ let micro_tests () =
            done;
            Nf_engine.Sim.run sim));
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Raw kernel throughputs: simple wall-clock loops (not bechamel) so the
+   figure is directly the events/sec resp. iterations/sec number tracked
+   across revisions in BENCH_<rev>.json. *)
+
+(* Dispatch waves of 1000 no-op events through one simulator; events per
+   wave spread over 97 distinct times so the heap actually sifts. *)
+let engine_events_per_sec ~seconds =
+  let sim = Nf_engine.Sim.create () in
+  let cat = Nf_engine.Sim.cat "bench-kernel" in
+  let noop () = () in
+  let wave = 1000 in
+  let base = ref 0. in
+  let count = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let t_end = t0 +. seconds in
+  while Unix.gettimeofday () < t_end do
+    for i = 1 to wave do
+      Nf_engine.Sim.schedule_cat sim ~cat
+        ~at:(!base +. float_of_int (i mod 97))
+        noop
+    done;
+    Nf_engine.Sim.run sim;
+    base := !base +. 100.;
+    count := !count + wave
+  done;
+  float_of_int !count /. (Unix.gettimeofday () -. t0)
+
+(* A fixed k=4 fat tree (16 servers) carrying 256 random ECMP-routed
+   proportional-fair flows; iterate Xwi_core.step in place. *)
+let xwi_iters_per_sec ~seconds =
+  let ft = Nf_topo.Builders.fat_tree ~k:4 () in
+  let topology = ft.Nf_topo.Builders.ft_topo in
+  let rng = Nf_util.Rng.create ~seed:7 in
+  let pairs =
+    Nf_workload.Traffic.random_pairs rng ~hosts:ft.Nf_topo.Builders.ft_servers
+      ~n:256
+  in
+  let paths =
+    Array.mapi
+      (fun i { Nf_workload.Traffic.src; dst } ->
+        Array.of_list
+          (Nf_topo.Routing.ecmp_path topology ~src ~dst ~hash:(i * 2654435761)))
+      pairs
+  in
+  let caps =
+    Array.map
+      (fun l -> l.Nf_topo.Topology.capacity)
+      (Nf_topo.Topology.links topology)
+  in
+  let problem =
+    Nf_num.Problem.create ~caps
+      ~groups:
+        (Array.to_list
+           (Array.map
+              (Nf_num.Problem.single_path (Nf_num.Utility.proportional_fair ()))
+              paths))
+  in
+  let state = Nf_num.Xwi_core.init problem in
+  let params = Nf_num.Xwi_core.default_params in
+  let chunk = 50 in
+  let count = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let t_end = t0 +. seconds in
+  while Unix.gettimeofday () < t_end do
+    for _ = 1 to chunk do
+      Nf_num.Xwi_core.step problem params state
+    done;
+    count := !count + chunk
+  done;
+  float_of_int !count /. (Unix.gettimeofday () -. t0)
+
+let run_kernels () =
+  let seconds = if !quick then 0.2 else 1.0 in
+  let kernels =
+    [
+      ("engine_events_per_sec", engine_events_per_sec);
+      ("xwi_iters_per_sec", xwi_iters_per_sec);
+    ]
+  in
+  Format.printf "@[<v>Raw kernels (%.1f s budget each):@," seconds;
+  List.iter
+    (fun (name, f) ->
+      let per_sec = f ~seconds in
+      kernel_rates := (name, per_sec) :: !kernel_rates;
+      Format.printf "  %-32s %12.0f /s@," name per_sec)
+    kernels;
+  Format.printf "@]@."
 
 let run_micro () =
   let open Bechamel in
@@ -265,6 +366,7 @@ let () =
     let t0 = Unix.gettimeofday () in
     section "micro";
     run_micro ();
+    run_kernels ();
     let dt = Unix.gettimeofday () -. t0 in
     timings := ("micro", dt, 1) :: !timings;
     Format.printf "@.(micro finished in %.1f s)@." dt

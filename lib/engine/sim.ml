@@ -1,14 +1,15 @@
 module Metrics = Nf_util.Metrics
 module Profile = Nf_util.Profile
+module Fheap = Nf_util.Fheap
 
-type event = { time : float; seq : int; cat : string; action : unit -> unit }
+type cat = Profile.cat
 
 type t = {
-  queue : event Nf_util.Heap.t;
+  queue : (unit -> unit) Fheap.t;
   mutable clock : float;
-  mutable next_seq : int;
   mutable stopped : bool;
   mutable processed : int;
+  mutable scheduled : int;
 }
 
 let m_events =
@@ -18,78 +19,108 @@ let m_events =
 
 let m_heap_depth =
   Metrics.gauge Metrics.global
-    ~help:"High-water mark of the event heap"
+    ~help:"High-water mark of the event heap (sampled)"
     "nf_engine_heap_depth_max"
 
-let default_cat = "event"
+let cat = Profile.intern
 
-let compare_events a b =
-  match compare a.time b.time with 0 -> compare a.seq b.seq | c -> c
+let default_cat = cat "event"
+
+let noop () = ()
 
 let create () =
   {
-    queue = Nf_util.Heap.create ~cmp:compare_events;
+    queue = Fheap.create ~capacity:64 ~dummy:noop ();
     clock = 0.;
-    next_seq = 0;
     stopped = false;
     processed = 0;
+    scheduled = 0;
   }
 
 let now t = t.clock
 
-let schedule t ?(cat = default_cat) ~at action =
+(* The heap-depth gauge is a diagnostic high-water mark; updating it per
+   scheduled event costs an int->float conversion plus a compare even when
+   nobody reads metrics, so it is sampled every 2^8 schedules instead. *)
+let depth_sample_mask = 0xFF
+
+let schedule_cat t ~cat ~at action =
   if at < t.clock then
     invalid_arg
       (Printf.sprintf "Sim.schedule: event in the past (at=%g, now=%g)" at
          t.clock);
-  let seq = t.next_seq in
-  t.next_seq <- seq + 1;
-  Nf_util.Heap.push t.queue { time = at; seq; cat; action };
-  Metrics.max_gauge m_heap_depth (float_of_int (Nf_util.Heap.length t.queue))
+  Fheap.push t.queue ~key:at ~aux:cat action;
+  let s = t.scheduled + 1 in
+  t.scheduled <- s;
+  if s land depth_sample_mask = 0 then
+    Metrics.max_gauge m_heap_depth (float_of_int (Fheap.length t.queue))
 
-let schedule_after t ?cat ~delay action =
+let schedule_after_cat t ~cat ~delay action =
   if delay < 0. then invalid_arg "Sim.schedule_after: negative delay";
-  schedule t ?cat ~at:(t.clock +. delay) action
+  schedule_cat t ~cat ~at:(t.clock +. delay) action
 
-let periodic t ?cat ?start ~interval action =
+let periodic_cat t ~cat ?start ~interval action =
   if interval <= 0. then invalid_arg "Sim.periodic: interval must be positive";
   let first = match start with Some s -> s | None -> t.clock +. interval in
   let rec fire () =
     action ();
-    schedule_after t ?cat ~delay:interval fire
+    schedule_after_cat t ~cat ~delay:interval fire
   in
-  schedule t ?cat ~at:first fire
+  schedule_cat t ~cat ~at:first fire
+
+let cat_of_opt = function None -> default_cat | Some s -> Profile.intern s
+
+let schedule t ?cat ~at action = schedule_cat t ~cat:(cat_of_opt cat) ~at action
+
+let schedule_after t ?cat ~delay action =
+  schedule_after_cat t ~cat:(cat_of_opt cat) ~delay action
+
+let periodic t ?cat ?start ~interval action =
+  periodic_cat t ~cat:(cat_of_opt cat) ?start ~interval action
 
 let run ?until t =
   t.stopped <- false;
   let horizon = match until with Some u -> u | None -> infinity in
+  let q = t.queue in
+  (* Hoisted out of the dispatch loop: toggling profiling from inside a
+     handler takes effect on the next [run]. Event/processed counters are
+     batched and settled once per run (also on an escaping exception). *)
+  let profiling = Profile.enabled () in
+  let dispatched = ref 0 in
+  Fun.protect ~finally:(fun () ->
+      t.processed <- t.processed + !dispatched;
+      Metrics.add m_events !dispatched)
+  @@ fun () ->
   let continue = ref true in
   while !continue && not t.stopped do
-    match Nf_util.Heap.peek t.queue with
-    | None ->
+    if Fheap.is_empty q then begin
       if Float.is_finite horizon then t.clock <- Float.max t.clock horizon;
       continue := false
-    | Some ev ->
-      if ev.time > horizon then begin
+    end
+    else begin
+      let time = Fheap.top_key q in
+      if time > horizon then begin
         t.clock <- horizon;
         continue := false
       end
       else begin
-        ignore (Nf_util.Heap.pop t.queue);
-        t.clock <- ev.time;
-        t.processed <- t.processed + 1;
-        Metrics.incr m_events;
-        if Profile.enabled () then begin
+        let action = Fheap.top q in
+        let c = Fheap.top_aux q in
+        Fheap.drop q;
+        t.clock <- time;
+        incr dispatched;
+        if profiling then begin
           let t0 = Profile.now () in
-          ev.action ();
-          Profile.record ev.cat (Profile.now () -. t0)
+          action ();
+          Profile.record_cat c (Profile.now () -. t0)
         end
-        else ev.action ()
+        else action ()
       end
+    end
   done
 
 let stop t = t.stopped <- true
 
 let events_processed t = t.processed
 
-let pending t = Nf_util.Heap.length t.queue
+let pending t = Fheap.length t.queue

@@ -5,28 +5,57 @@
     tie-breaking by sequence number — essential for protocol determinism).
     All of [nf_sim] runs on top of this.
 
-    {b Observability.} Every event carries a scheduling category ([?cat],
-    default ["event"]); when {!Nf_util.Profile.enabled}, the event loop
+    {b Hot path.} The event queue is a monomorphic structure-of-arrays
+    float-keyed heap ({!Nf_util.Fheap}): steady-state schedule/dispatch
+    allocates nothing beyond the handler closures the caller provides.
+    Per-packet schedulers should intern their category once ({!cat}) and
+    call the [_cat] variants — the [?cat:string] conveniences intern on
+    every call.
+
+    {b Observability.} Every event carries a scheduling category
+    (default ["event"]); when {!Nf_util.Profile.enabled}, the event loop
     accounts each handler's wall time under its category, which is how
     [nf_run ... --profile] builds its "where did the time go" table. The
-    loop also feeds the global metrics registry
-    ([nf_engine_events_total], [nf_engine_heap_depth_max]). *)
+    loop also feeds the global metrics registry:
+    [nf_engine_events_total] is batched per {!run}, and the
+    [nf_engine_heap_depth_max] high-water gauge is sampled every few
+    hundred schedules so the idle-metrics path costs nothing per event.
+    {!Nf_util.Profile.enabled} is read once per {!run}, not per event. *)
 
 type t
+
+type cat = Nf_util.Profile.cat
+(** Interned profiling-category handle. *)
+
+val cat : string -> cat
+(** [cat name] interns [name] (idempotent; do it once at module init). *)
+
+val default_cat : cat
+(** The ["event"] category. *)
 
 val create : unit -> t
 
 val now : t -> float
 (** Current virtual time, seconds. Starts at 0. *)
 
-val schedule : t -> ?cat:string -> at:float -> (unit -> unit) -> unit
-(** [cat] is the profiling category of the handler (default ["event"]).
+val schedule_cat : t -> cat:cat -> at:float -> (unit -> unit) -> unit
+(** Allocation-free scheduling primitive.
     @raise Invalid_argument if [at] is in the past (the message carries
     both the requested time and the current clock). *)
 
+val schedule_after_cat : t -> cat:cat -> delay:float -> (unit -> unit) -> unit
+(** [schedule_after_cat t ~cat ~delay f] =
+    [schedule_cat t ~cat ~at:(now t +. delay) f]; [delay] must be
+    non-negative. *)
+
+val periodic_cat :
+  t -> cat:cat -> ?start:float -> interval:float -> (unit -> unit) -> unit
+
+val schedule : t -> ?cat:string -> at:float -> (unit -> unit) -> unit
+(** Convenience wrapper over {!schedule_cat}; [cat] (default ["event"])
+    is interned on each call. *)
+
 val schedule_after : t -> ?cat:string -> delay:float -> (unit -> unit) -> unit
-(** [schedule_after t ~delay f] = [schedule t ~at:(now t +. delay) f];
-    [delay] must be non-negative. *)
 
 val periodic :
   t -> ?cat:string -> ?start:float -> interval:float -> (unit -> unit) -> unit
@@ -43,5 +72,7 @@ val stop : t -> unit
     an event handler. *)
 
 val events_processed : t -> int
+(** Total events dispatched by completed {!run} calls (settled when [run]
+    returns, not per event). *)
 
 val pending : t -> int

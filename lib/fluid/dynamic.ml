@@ -99,7 +99,8 @@ let run ~caps ~make_scheme ~flows ?reutility ?until () =
         s.Scheme.observe_remaining
           (Array.of_list (List.map (fun a -> a.remaining) !actives));
         s.Scheme.step ();
-        let rates = s.Scheme.rates () in
+        (* Live view: consumed within this round, before the next step. *)
+        let rates = s.Scheme.rates_view () in
         let t0 = !now in
         now := t0 +. dt;
         let departed = ref false in

@@ -100,6 +100,7 @@ let make_with_prices ?(params = default_params) ?(interval = default_interval)
       interval;
       step;
       rates = (fun () -> Array.copy !rates);
+      rates_view = (fun () -> !rates);
       rebind;
       observe_remaining = Scheme.nop_observe;
     }

@@ -91,6 +91,7 @@ let make_with_fair_rates ?(params = default_params)
       interval;
       step;
       rates = (fun () -> Array.copy !rates);
+      rates_view = (fun () -> !rates);
       rebind;
       observe_remaining = Scheme.nop_observe;
     }

@@ -20,6 +20,7 @@ let make_with_prices ?(params = Xwi_core.default_params)
         (float_of_int !iter)
   in
   let rates () = Array.copy !state.Xwi_core.rates in
+  let rates_view () = !state.Xwi_core.rates in
   let rebind p =
     if Problem.n_links p <> n_links then
       invalid_arg "Fluid_xwi.rebind: link count changed";
@@ -33,6 +34,7 @@ let make_with_prices ?(params = Xwi_core.default_params)
       interval;
       step;
       rates;
+      rates_view;
       rebind;
       observe_remaining = Scheme.nop_observe;
     }

@@ -3,6 +3,7 @@ type t = {
   interval : float;
   step : unit -> unit;
   rates : unit -> float array;
+  rates_view : unit -> float array;
   rebind : Nf_num.Problem.t -> unit;
   observe_remaining : float array -> unit;
 }

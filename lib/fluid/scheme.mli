@@ -20,6 +20,11 @@ type t = {
   rates : unit -> float array;
     (** current per-(sub-)flow rates; the array belongs to the caller
         (fresh or stable snapshot, never mutated by later steps) *)
+  rates_view : unit -> float array;
+    (** the scheme's {e live} rate array: no copy, read-only, valid only
+        until the next {!field-step} or {!field-rebind}. The per-iteration
+        observation path (convergence measurement, dynamic drains) uses
+        this; callers that store rates must use {!field-rates} *)
   rebind : Nf_num.Problem.t -> unit;
     (** replace the flow population; link count must be unchanged *)
   observe_remaining : float array -> unit;

@@ -57,6 +57,7 @@ let make ?(interval = 16e-6) problem =
     interval;
     step;
     rates = (fun () -> Array.copy !rates);
+    rates_view = (fun () -> !rates);
     rebind;
     observe_remaining;
   }

@@ -4,6 +4,27 @@ type result = {
   fair_share : float array;
 }
 
+type workspace = {
+  w_frozen : bool array;
+  w_rem_cap : float array;
+  w_active_weight : float array;
+  w_active_count : int array;
+  w_saturated : bool array;  (* per-round scratch, cleared each round *)
+  w_bottleneck : int array;
+  w_fair_share : float array;
+}
+
+let workspace ~n_links ~n_flows =
+  {
+    w_frozen = Array.make n_flows false;
+    w_rem_cap = Array.make n_links 0.;
+    w_active_weight = Array.make n_links 0.;
+    w_active_count = Array.make n_links 0;
+    w_saturated = Array.make n_links false;
+    w_bottleneck = Array.make n_flows (-1);
+    w_fair_share = Array.make n_flows 0.;
+  }
+
 let validate ~caps ~paths ~weights =
   let n_links = Array.length caps in
   if Array.length paths <> Array.length weights then
@@ -28,25 +49,34 @@ let validate ~caps ~paths ~weights =
    the flows crossing it, and continue. Integer per-link active-flow counts
    (not float weight sums) decide which links still constrain the fill, so
    rounding noise can never leave a phantom constraint that would stall the
-   loop. O(rounds * total path length), rounds <= number of links. *)
-let solve ~caps ~paths ~weights =
-  validate ~caps ~paths ~weights;
+   loop. O(rounds * total path length), rounds <= number of links.
+
+   All state lives in the caller's workspace so the per-iteration fluid
+   solver ({!Xwi_core.step}) allocates nothing here. *)
+let solve_core ws ~caps ~paths ~weights ~rates =
   let n_flows = Array.length paths and n_links = Array.length caps in
-  let rates = Array.make n_flows 0. in
-  let bottleneck = Array.make n_flows (-1) in
-  let fair_share = Array.make n_flows 0. in
-  let frozen = Array.make n_flows false in
-  let rem_cap = Array.copy caps in
-  let active_weight = Array.make n_links 0. in
-  let active_count = Array.make n_links 0 in
-  Array.iteri
-    (fun i path ->
-      Array.iter
-        (fun l ->
-          active_weight.(l) <- active_weight.(l) +. weights.(i);
-          active_count.(l) <- active_count.(l) + 1)
-        path)
-    paths;
+  let frozen = ws.w_frozen
+  and rem_cap = ws.w_rem_cap
+  and active_weight = ws.w_active_weight
+  and active_count = ws.w_active_count
+  and bottleneck = ws.w_bottleneck
+  and fair_share = ws.w_fair_share in
+  Array.fill frozen 0 n_flows false;
+  Array.blit caps 0 rem_cap 0 n_links;
+  Array.fill active_weight 0 n_links 0.;
+  Array.fill active_count 0 n_links 0;
+  Array.fill bottleneck 0 n_flows (-1);
+  Array.fill fair_share 0 n_flows 0.;
+  Array.fill rates 0 n_flows 0.;
+  for i = 0 to n_flows - 1 do
+    let path = paths.(i) in
+    let w = weights.(i) in
+    for k = 0 to Array.length path - 1 do
+      let l = path.(k) in
+      active_weight.(l) <- active_weight.(l) +. w;
+      active_count.(l) <- active_count.(l) + 1
+    done
+  done;
   let level = ref 0. in
   let n_active = ref n_flows in
   while !n_active > 0 do
@@ -84,7 +114,8 @@ let solve ~caps ~paths ~weights =
       done;
       (* Links saturated at the new level; the argmin link is saturated by
          construction even if rounding left it epsilon above zero. *)
-      let saturated = Array.make n_links false in
+      let saturated = ws.w_saturated in
+      Array.fill saturated 0 n_links false;
       saturated.(!argmin) <- true;
       for l = 0 to n_links - 1 do
         if active_count.(l) > 0 && rem_cap.(l) <= 1e-9 *. caps.(l) then
@@ -93,21 +124,24 @@ let solve ~caps ~paths ~weights =
       let froze_any = ref false in
       for i = 0 to n_flows - 1 do
         if not frozen.(i) then begin
+          let path = paths.(i) in
           let hit = ref (-1) in
-          Array.iter
-            (fun l -> if saturated.(l) && !hit = -1 then hit := l)
-            paths.(i);
+          for k = 0 to Array.length path - 1 do
+            let l = path.(k) in
+            if saturated.(l) && !hit = -1 then hit := l
+          done;
           if !hit >= 0 then begin
             frozen.(i) <- true;
             froze_any := true;
             bottleneck.(i) <- !hit;
             fair_share.(i) <- !level;
             rates.(i) <- weights.(i) *. !level;
-            Array.iter
-              (fun l ->
-                active_weight.(l) <- active_weight.(l) -. weights.(i);
-                active_count.(l) <- active_count.(l) - 1)
-              paths.(i);
+            let w = weights.(i) in
+            for k = 0 to Array.length path - 1 do
+              let l = path.(k) in
+              active_weight.(l) <- active_weight.(l) -. w;
+              active_count.(l) <- active_count.(l) - 1
+            done;
             decr n_active
           end
         end
@@ -116,12 +150,35 @@ let solve ~caps ~paths ~weights =
          freeze must have happened; assert the loop variant. *)
       assert !froze_any
     end
-  done;
-  { rates; bottleneck; fair_share }
+  done
+
+let check_sizes ws ~caps ~paths ~weights ~rates =
+  let n_flows = Array.length paths and n_links = Array.length caps in
+  if
+    Array.length weights <> n_flows
+    || Array.length rates <> n_flows
+    || Array.length ws.w_frozen <> n_flows
+    || Array.length ws.w_rem_cap <> n_links
+  then invalid_arg "Maxmin.solve_into: workspace/array size mismatch"
+
+let solve_into ws ~caps ~paths ~weights ~rates =
+  check_sizes ws ~caps ~paths ~weights ~rates;
+  solve_core ws ~caps ~paths ~weights ~rates
+
+let solve ~caps ~paths ~weights =
+  validate ~caps ~paths ~weights;
+  let n_flows = Array.length paths and n_links = Array.length caps in
+  let ws = workspace ~n_links ~n_flows in
+  let rates = Array.make n_flows 0. in
+  solve_core ws ~caps ~paths ~weights ~rates;
+  { rates; bottleneck = ws.w_bottleneck; fair_share = ws.w_fair_share }
 
 let solve_problem problem ~weights =
-  let paths = Array.init (Problem.n_flows problem) (Problem.flow_path problem) in
-  solve ~caps:(Problem.caps problem) ~paths ~weights
+  solve ~caps:(Problem.caps problem) ~paths:(Problem.paths problem) ~weights
+
+let solve_problem_into ws problem ~weights ~rates =
+  solve_into ws ~caps:(Problem.caps problem) ~paths:(Problem.paths problem)
+    ~weights ~rates
 
 let is_maxmin ?(tol = 1e-6) ~caps ~paths ~weights rates =
   validate ~caps ~paths ~weights;

@@ -23,6 +23,30 @@ val solve_problem : Problem.t -> weights:float array -> result
 (** Convenience wrapper reading capacities and paths from a {!Problem.t}
     (group structure is ignored: max-min operates on sub-flows). *)
 
+type workspace
+(** Preallocated scratch state for the allocation-free entry points below.
+    A workspace is sized for one problem shape and may be reused across
+    any number of solves of that shape. Not thread-safe. *)
+
+val workspace : n_links:int -> n_flows:int -> workspace
+
+val solve_into :
+  workspace ->
+  caps:float array ->
+  paths:int array array ->
+  weights:float array ->
+  rates:float array ->
+  unit
+(** Allocation-free variant of {!solve}: writes the allocation into the
+    caller-owned [rates] array (length [n_flows]). Performs only cheap
+    size checks — inputs are assumed validated once up front (the fluid
+    xWI iteration calls this every step on a fixed problem).
+    @raise Invalid_argument on a workspace/array size mismatch. *)
+
+val solve_problem_into :
+  workspace -> Problem.t -> weights:float array -> rates:float array -> unit
+(** {!solve_into} reading capacities and paths from a {!Problem.t}. *)
+
 val is_maxmin : ?tol:float -> caps:float array -> paths:int array array ->
   weights:float array -> float array -> bool
 (** Check (up to relative tolerance [tol], default 1e-6) that an allocation

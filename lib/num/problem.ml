@@ -93,18 +93,41 @@ let group_utility t g = t.utilities.(g)
 
 let link_flows t l = t.flows_on_link.(l)
 
-let group_rate t ~rates g =
-  Array.fold_left (fun acc i -> acc +. rates.(i)) 0. t.members.(g)
+let paths t = t.flow_paths
 
-let group_rates t ~rates = Array.init (n_groups t) (group_rate t ~rates)
+let group_rate t ~rates g =
+  let members = t.members.(g) in
+  let acc = ref 0. in
+  for k = 0 to Array.length members - 1 do
+    acc := !acc +. rates.(members.(k))
+  done;
+  !acc
+
+let group_rates_into t ~rates out =
+  for g = 0 to n_groups t - 1 do
+    out.(g) <- group_rate t ~rates g
+  done
+
+let group_rates t ~rates =
+  let out = Array.make (n_groups t) 0. in
+  group_rates_into t ~rates out;
+  out
+
+let link_loads_into t ~rates loads =
+  Array.fill loads 0 (Array.length loads) 0.;
+  let fp = t.flow_paths in
+  for i = 0 to Array.length fp - 1 do
+    let path = fp.(i) in
+    let x = rates.(i) in
+    for k = 0 to Array.length path - 1 do
+      let lid = path.(k) in
+      loads.(lid) <- loads.(lid) +. x
+    done
+  done
 
 let link_loads t ~rates =
   let loads = Array.make (n_links t) 0. in
-  Array.iteri
-    (fun i path ->
-      let x = rates.(i) in
-      Array.iter (fun lid -> loads.(lid) <- loads.(lid) +. x) path)
-    t.flow_paths;
+  link_loads_into t ~rates loads;
   loads
 
 let path_price t ~prices i =

@@ -49,13 +49,26 @@ val group_utility : t -> int -> Utility.t
 val link_flows : t -> int -> int array
 (** Flows crossing the given link ([S(l)] of the paper). *)
 
+val paths : t -> int array array
+(** The live flow→path incidence array ([paths.(flow)] = link ids).
+    Shared, not copied: callers must treat it as read-only. Exists so
+    per-iteration solvers can avoid rebuilding the routing structure. *)
+
 val group_rate : t -> rates:float array -> int -> float
 (** [y_g = Σ_{i ∈ g} rates.(i)]. *)
 
 val group_rates : t -> rates:float array -> float array
 
+val group_rates_into : t -> rates:float array -> float array -> unit
+(** Like {!group_rates} but writes into a caller-owned array of length
+    [n_groups] (no allocation). *)
+
 val link_loads : t -> rates:float array -> float array
 (** Traffic per link under the given flow rates. *)
+
+val link_loads_into : t -> rates:float array -> float array -> unit
+(** Like {!link_loads} but clears and fills a caller-owned array of
+    length [n_links] (no allocation). *)
 
 val path_price : t -> prices:float array -> int -> float
 (** [Σ_{l ∈ L(i)} prices.(l)] for flow [i]. *)

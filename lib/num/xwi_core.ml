@@ -22,17 +22,44 @@ let m_iterations =
     ~buckets:[ 10.; 30.; 100.; 300.; 1000.; 3000.; 10000.; 30000. ]
     "nf_xwi_iterations"
 
-let trace_iter iter =
-  let tr = Trace.default () in
+let trace_iter tr iter =
   if Trace.on tr Trace.XwiIter then
     Trace.emit tr Trace.XwiIter ~subject:0 ~time:(float_of_int iter)
       (float_of_int iter)
+
+(* Per-state scratch arrays: one allocation at [init], zero per [step].
+   Sized for the state's problem; abstract in the interface so states can
+   only come from the init functions. *)
+type buffers = {
+  b_loads : float array;  (* n_links *)
+  b_old_prices : float array;  (* n_links; fixpoint-loop snapshot *)
+  b_residual : float array;  (* n_flows *)
+  b_old_rates : float array;  (* n_flows; fixpoint-loop snapshot *)
+  b_group_rates : float array;  (* n_groups *)
+  b_group_marginal : float array;  (* n_groups *)
+  b_maxmin : Maxmin.workspace;
+}
 
 type state = {
   prices : float array;
   mutable rates : float array;
   mutable weights : float array;
+  buffers : buffers;
 }
+
+let make_buffers problem =
+  let n_links = Problem.n_links problem
+  and n_flows = Problem.n_flows problem
+  and n_groups = Problem.n_groups problem in
+  {
+    b_loads = Array.make n_links 0.;
+    b_old_prices = Array.make n_links 0.;
+    b_residual = Array.make n_flows 0.;
+    b_old_rates = Array.make n_flows 0.;
+    b_group_rates = Array.make n_groups 0.;
+    b_group_marginal = Array.make n_groups 0.;
+    b_maxmin = Maxmin.workspace ~n_links ~n_flows;
+  }
 
 let equal_weight_rates problem =
   let weights = Array.make (Problem.n_flows problem) 1. in
@@ -54,122 +81,159 @@ let seed_prices problem ~rates =
   done;
   prices
 
-let flow_weights problem ~prices ~prev_rates =
-  let n_flows = Problem.n_flows problem in
-  let weights = Array.make n_flows 0. in
+let flow_weights_into problem ~prices ~prev_rates ~out =
   for g = 0 to Problem.n_groups problem - 1 do
     let members = Problem.group_members problem g in
     let u = Problem.group_utility problem g in
     if Array.length members = 1 then begin
       let i = members.(0) in
-      weights.(i) <- Utility.rate_from_price u (Problem.path_price problem ~prices i)
+      let w = Utility.rate_from_price u (Problem.path_price problem ~prices i) in
+      (* Maxmin requires strictly positive weights. *)
+      out.(i) <- Float.max w 1e-30
     end
     else begin
       (* §6.3: each sub-flow computes the group-level weight from its own
          path price, then scales it by its share of the group throughput. *)
-      let y = Array.fold_left (fun acc i -> acc +. prev_rates.(i)) 0. members in
+      let y = ref 0. in
+      for k = 0 to Array.length members - 1 do
+        y := !y +. prev_rates.(members.(k))
+      done;
+      let y = !y in
       let n = float_of_int (Array.length members) in
-      Array.iter
-        (fun i ->
-          let total = Utility.rate_from_price u (Problem.path_price problem ~prices i) in
-          let share = if y > 1e-12 then prev_rates.(i) /. y else 1. /. n in
-          (* Keep a tiny floor so idle sub-flows can still probe their
-             path and ramp up quickly if capacity appears; small enough
-             that an optimally-unused sub-flow classifies as unused. *)
-          weights.(i) <- total *. Float.max share (1e-8 /. n))
-        members
+      for k = 0 to Array.length members - 1 do
+        let i = members.(k) in
+        let total = Utility.rate_from_price u (Problem.path_price problem ~prices i) in
+        let share = if y > 1e-12 then prev_rates.(i) /. y else 1. /. n in
+        (* Keep a tiny floor so idle sub-flows can still probe their
+           path and ramp up quickly if capacity appears; small enough
+           that an optimally-unused sub-flow classifies as unused. *)
+        out.(i) <- Float.max (total *. Float.max share (1e-8 /. n)) 1e-30
+      done
     end
-  done;
-  (* Maxmin requires strictly positive weights. *)
-  Array.map (fun w -> Float.max w 1e-30) weights
+  done
 
-let price_update problem params ~prices ~rates =
+let flow_weights problem ~prices ~prev_rates =
+  let out = Array.make (Problem.n_flows problem) 0. in
+  flow_weights_into problem ~prices ~prev_rates ~out;
+  out
+
+(* Eqs. 9-11 with every per-iteration array drawn from [bufs]. Updates
+   [prices] in place: each link's new price reads only its own old price
+   plus the residuals/loads precomputed above, so the in-place sweep is
+   equivalent to the synchronized update. *)
+let price_update_into problem params bufs ~prices ~rates =
   let n_links = Problem.n_links problem in
   let caps = Problem.caps problem in
-  let loads = Problem.link_loads problem ~rates in
+  let loads = bufs.b_loads in
+  Problem.link_loads_into problem ~rates loads;
+  let n_groups = Problem.n_groups problem in
+  let group_rates = bufs.b_group_rates in
+  Problem.group_rates_into problem ~rates group_rates;
+  let group_marginal = bufs.b_group_marginal in
+  for g = 0 to n_groups - 1 do
+    group_marginal.(g) <-
+      (Problem.group_utility problem g).Utility.deriv
+        (Float.max group_rates.(g) 1e-12)
+  done;
   (* Normalized residual of each flow (what the sender would put in the
      normalizedResidual header field). *)
   let n_flows = Problem.n_flows problem in
-  let residual = Array.make n_flows 0. in
+  let residual = bufs.b_residual in
   for i = 0 to n_flows - 1 do
     let g = Problem.flow_group problem i in
-    let y = Problem.group_rate problem ~rates g in
-    let marginal = (Problem.group_utility problem g).Utility.deriv (Float.max y 1e-12) in
     let price = Problem.path_price problem ~prices i in
-    residual.(i) <- (marginal -. price) /. float_of_int (Problem.path_len problem i)
+    residual.(i) <-
+      (group_marginal.(g) -. price) /. float_of_int (Problem.path_len problem i)
   done;
-  Array.init n_links (fun l ->
-      let flows = Problem.link_flows problem l in
-      (* Sub-flows carrying negligible traffic contribute (almost) no data
-         packets, hence no residuals at the switch; excluding them also
-         keeps an optimally-unused sub-flow (whose residual is legitimately
-         negative — KKT only requires its path price to EXCEED the marginal
-         utility) from dragging the link price below the fixed point. *)
-      let n_here = float_of_int (Array.length flows) in
-      (* "Negligible" is relative to the average flow on this link, so the
-         rule is scale-free and survives both fat links with many mice and
-         thin links with one elephant. *)
-      let significant i = rates.(i) *. n_here >= 1e-3 *. loads.(l) in
-      let min_res =
-        match params.residual_agg with
-        | Agg_min ->
-          Array.fold_left
-            (fun acc i -> if significant i then Float.min acc residual.(i) else acc)
-            infinity flows
-        | Agg_mean ->
-          let sum = ref 0. and count = ref 0 in
-          Array.iter
-            (fun i ->
-              if significant i then begin
-                sum := !sum +. residual.(i);
-                incr count
-              end)
-            flows;
-          if !count = 0 then infinity else !sum /. float_of_int !count
-      in
-      let utilization = Nf_util.Fcmp.clamp ~lo:0. ~hi:1. (loads.(l) /. caps.(l)) in
-      if Float.is_finite min_res then begin
-        let p_res = prices.(l) +. min_res in
-        let p_new =
-          Float.max 0.
-            (p_res -. (params.eta *. (1. -. utilization) *. prices.(l)))
-        in
-        (params.beta *. prices.(l)) +. ((1. -. params.beta) *. p_new)
-      end
-      else begin
+  for l = 0 to n_links - 1 do
+    let flows = Problem.link_flows problem l in
+    (* Sub-flows carrying negligible traffic contribute (almost) no data
+       packets, hence no residuals at the switch; excluding them also
+       keeps an optimally-unused sub-flow (whose residual is legitimately
+       negative — KKT only requires its path price to EXCEED the marginal
+       utility) from dragging the link price below the fixed point. *)
+    let n_here = float_of_int (Array.length flows) in
+    (* "Negligible" is relative to the average flow on this link, so the
+       rule is scale-free and survives both fat links with many mice and
+       thin links with one elephant. *)
+    let min_res =
+      match params.residual_agg with
+      | Agg_min ->
+        let acc = ref infinity in
+        for k = 0 to Array.length flows - 1 do
+          let i = flows.(k) in
+          if rates.(i) *. n_here >= 1e-3 *. loads.(l) then
+            acc := Float.min !acc residual.(i)
+        done;
+        !acc
+      | Agg_mean ->
+        let sum = ref 0. and count = ref 0 in
+        for k = 0 to Array.length flows - 1 do
+          let i = flows.(k) in
+          if rates.(i) *. n_here >= 1e-3 *. loads.(l) then begin
+            sum := !sum +. residual.(i);
+            incr count
+          end
+        done;
+        if !count = 0 then infinity else !sum /. float_of_int !count
+    in
+    let p_old = prices.(l) in
+    let utilization = Nf_util.Fcmp.clamp ~lo:0. ~hi:1. (loads.(l) /. caps.(l)) in
+    let p_new =
+      if Float.is_finite min_res then
+        Float.max 0.
+          (p_old +. min_res -. (params.eta *. (1. -. utilization) *. p_old))
+      else
         (* No (significant) traffic: drive the price to zero via the
            utilization term alone. *)
-        let p_new =
-          Float.max 0.
-            (prices.(l) -. (params.eta *. (1. -. utilization) *. prices.(l)))
-        in
-        (params.beta *. prices.(l)) +. ((1. -. params.beta) *. p_new)
-      end)
+        Float.max 0. (p_old -. (params.eta *. (1. -. utilization) *. p_old))
+    in
+    prices.(l) <- (params.beta *. p_old) +. ((1. -. params.beta) *. p_new)
+  done
+
+let price_update problem params ~prices ~rates =
+  let out = Array.copy prices in
+  price_update_into problem params (make_buffers problem) ~prices:out ~rates;
+  out
 
 let init problem =
   let rates = equal_weight_rates problem in
   let prices = seed_prices problem ~rates in
-  { prices; rates; weights = Array.make (Problem.n_flows problem) 1. }
+  {
+    prices;
+    rates;
+    weights = Array.make (Problem.n_flows problem) 1.;
+    buffers = make_buffers problem;
+  }
 
 let init_with_prices problem ~prices =
   if Array.length prices <> Problem.n_links problem then
     invalid_arg "Xwi_core.init_with_prices: prices length";
   let rates = equal_weight_rates problem in
   let state =
-    { prices = Array.copy prices; rates; weights = Array.make (Problem.n_flows problem) 1. }
+    {
+      prices = Array.copy prices;
+      rates;
+      weights = Array.make (Problem.n_flows problem) 1.;
+      buffers = make_buffers problem;
+    }
   in
-  let weights = flow_weights problem ~prices:state.prices ~prev_rates:state.rates in
-  state.weights <- weights;
-  state.rates <- (Maxmin.solve_problem problem ~weights).Maxmin.rates;
+  flow_weights_into problem ~prices:state.prices ~prev_rates:state.rates
+    ~out:state.weights;
+  Maxmin.solve_problem_into state.buffers.b_maxmin problem
+    ~weights:state.weights ~rates:state.rates;
   state
 
+(* One iteration, allocation-free: weights into [state.weights], max-min
+   rates into [state.rates] (prev rates are consumed by the weight
+   computation before the solve overwrites them), prices in place. *)
 let step problem params state =
-  let weights = flow_weights problem ~prices:state.prices ~prev_rates:state.rates in
-  let rates = (Maxmin.solve_problem problem ~weights).Maxmin.rates in
-  let prices = price_update problem params ~prices:state.prices ~rates in
-  state.weights <- weights;
-  state.rates <- rates;
-  Array.blit prices 0 state.prices 0 (Array.length prices)
+  flow_weights_into problem ~prices:state.prices ~prev_rates:state.rates
+    ~out:state.weights;
+  Maxmin.solve_problem_into state.buffers.b_maxmin problem
+    ~weights:state.weights ~rates:state.rates;
+  price_update_into problem params state.buffers ~prices:state.prices
+    ~rates:state.rates
 
 type run = { iterations : int; converged : bool }
 
@@ -182,13 +246,16 @@ let finish_run run =
 let run_to_fixpoint ?(tol = 1e-10) ?(max_iters = 50_000) problem params state =
   Nf_util.Profile.time "xwi-solve" @@ fun () ->
   let n_links = Problem.n_links problem and n_flows = Problem.n_flows problem in
+  let tr = Trace.default () in
+  let old_prices = state.buffers.b_old_prices
+  and old_rates = state.buffers.b_old_rates in
   let rec loop iter =
     if iter >= max_iters then finish_run { iterations = iter; converged = false }
     else begin
-      let old_prices = Array.copy state.prices in
-      let old_rates = Array.copy state.rates in
+      Array.blit state.prices 0 old_prices 0 n_links;
+      Array.blit state.rates 0 old_rates 0 n_flows;
       step problem params state;
-      trace_iter (iter + 1);
+      trace_iter tr (iter + 1);
       let delta = ref 0. in
       for l = 0 to n_links - 1 do
         let scale = Float.max (Float.abs old_prices.(l)) 1e-30 in
@@ -207,6 +274,7 @@ let run_to_fixpoint ?(tol = 1e-10) ?(max_iters = 50_000) problem params state =
 let run_until_kkt ?(tol = 1e-6) ?(check_every = 10) ?(max_iters = 50_000) problem
     params state =
   Nf_util.Profile.time "xwi-solve" @@ fun () ->
+  let tr = Trace.default () in
   let optimal () =
     Kkt.worst (Kkt.check problem ~rates:state.rates ~prices:state.prices) <= tol
   in
@@ -218,7 +286,7 @@ let run_until_kkt ?(tol = 1e-6) ?(check_every = 10) ?(max_iters = 50_000) proble
       let chunk = Stdlib.min check_every (max_iters - iter) in
       for k = 1 to chunk do
         step problem params state;
-        trace_iter (iter + k)
+        trace_iter tr (iter + k)
       done;
       loop (iter + chunk)
     end

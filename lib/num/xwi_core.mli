@@ -28,10 +28,15 @@ type params = {
 val default_params : params
 (** [{ eta = 5.; beta = 0.5; residual_agg = Agg_min }] — Table 2. *)
 
+type buffers
+(** Preallocated per-state scratch arrays (sized for the state's problem):
+    {!step} allocates nothing. Only the init functions build these. *)
+
 type state = {
   prices : float array;  (** per link *)
   mutable rates : float array;  (** per flow; last max-min allocation *)
   mutable weights : float array;  (** per flow; last Eq. 7 weights *)
+  buffers : buffers;
 }
 
 val init : Problem.t -> state
@@ -46,11 +51,22 @@ val init_with_prices : Problem.t -> prices:float array -> state
 val flow_weights : Problem.t -> prices:float array -> prev_rates:float array -> float array
 (** Eq. 7 plus the §6.3 multipath split; all weights strictly positive. *)
 
+val flow_weights_into :
+  Problem.t ->
+  prices:float array ->
+  prev_rates:float array ->
+  out:float array ->
+  unit
+(** Allocation-free {!flow_weights} into a caller array of length
+    [n_flows]. *)
+
 val price_update : Problem.t -> params -> prices:float array -> rates:float array -> float array
 (** Eqs. 9–11: one synchronized price update for all links. *)
 
 val step : Problem.t -> params -> state -> unit
-(** One full iteration: weights, max-min rates, price update (in place). *)
+(** One full iteration: weights, max-min rates, price update. Everything
+    is written in place into the state's arrays and scratch buffers —
+    steady-state stepping performs no heap allocation. *)
 
 type run = { iterations : int; converged : bool }
 

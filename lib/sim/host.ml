@@ -204,6 +204,8 @@ let start ctx s =
 
 let stop s = s.stopped <- true
 
+let stopped s = s.stopped
+
 (* --------------------------------------------------------------------- *)
 (* ACK processing *)
 

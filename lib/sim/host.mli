@@ -69,6 +69,8 @@ val handle_data : ctx -> receiver -> Packet.t -> unit
 
 val completed : sender -> bool
 
+val stopped : sender -> bool
+
 val acked_bytes : sender -> float
 
 val window : sender -> float option

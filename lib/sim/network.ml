@@ -31,6 +31,14 @@ let m_flows_completed =
   Metrics.counter Metrics.global
     ~help:"Finite flows completed" "nf_sim_flows_completed_total"
 
+(* Persistent flows never complete — they are torn down by stop_flow_at.
+   Counting teardowns separately keeps started = completed + stopped +
+   still-running legible in exported metrics (the quick sweep's packet
+   experiments use persistent flows only, hence completed = 0 there). *)
+let m_flows_stopped =
+  Metrics.counter Metrics.global
+    ~help:"Flow senders stopped before completing" "nf_sim_flows_stopped_total"
+
 let m_wall_per_sim_second =
   Metrics.gauge Metrics.global
     ~help:"Wall-clock seconds per simulated second of the last Network.run"
@@ -57,12 +65,31 @@ let flow ?path ?utility ?(size = infinity) ?(start = 0.) ~id ~src ~dst () =
     fs_utility = utility;
   }
 
+(* Scheduling categories, interned once: the forward path runs per packet. *)
+let cat_link_tx = Sim.cat "link-tx"
+
+let cat_pkt_arrive = Sim.cat "pkt-arrive"
+
+let cat_host = Sim.cat "host"
+
+let cat_price_update = Sim.cat "price-update"
+
+let cat_flow_start = Sim.cat "flow-start"
+
+let cat_flow_stop = Sim.cat "flow-stop"
+
+let cat_monitor = Sim.cat "monitor"
+
 type link_state = {
   link : Topology.link;
   qdisc : Queue_disc.t;
   engine : Price_engine.t;
+  byte_time : float;  (* seconds to serialize one byte *)
   mutable busy : bool;
   mutable delivered : float;  (* bytes dequeued *)
+  mutable tx_done : unit -> unit;
+      (* preallocated "transmission finished" handler, built once the
+         network exists, so the per-packet path schedules it for free *)
 }
 
 type t = {
@@ -105,13 +132,9 @@ let rec try_transmit t ls =
           ~time:(Sim.now t.sim)
           ~aux:(float_of_int pkt.Packet.flow)
           (float_of_int pkt.Packet.size);
-      let tx =
-        float_of_int pkt.Packet.size *. 8. /. ls.link.Topology.capacity
-      in
-      Sim.schedule_after t.sim ~cat:"link-tx" ~delay:tx (fun () ->
-          ls.busy <- false;
-          try_transmit t ls);
-      Sim.schedule_after t.sim ~cat:"pkt-arrive"
+      let tx = float_of_int pkt.Packet.size *. ls.byte_time in
+      Sim.schedule_after_cat t.sim ~cat:cat_link_tx ~delay:tx ls.tx_done;
+      Sim.schedule_after_cat t.sim ~cat:cat_pkt_arrive
         ~delay:(tx +. ls.link.Topology.delay) (fun () -> arrive t pkt)
   end
 
@@ -197,8 +220,10 @@ let create ?(config = Config.default) ?record ?trace ~topology ~protocol () =
           link;
           qdisc = lh.Protocol.lh_qdisc;
           engine = lh.Protocol.lh_engine;
+          byte_time = 8. /. link.Topology.capacity;
           busy = false;
           delivered = 0.;
+          tx_done = (fun () -> ());
         })
       (Topology.links topology)
   in
@@ -219,7 +244,8 @@ let create ?(config = Config.default) ?record ?trace ~topology ~protocol () =
       ctx =
         {
           Host.now = (fun () -> Sim.now sim);
-          after = (fun delay f -> Sim.schedule_after sim ~cat:"host" ~delay f);
+          after =
+            (fun delay f -> Sim.schedule_after_cat sim ~cat:cat_host ~delay f);
           transmit = (fun pkt -> transmit t pkt);
           complete =
             (fun flow_id ->
@@ -239,10 +265,18 @@ let create ?(config = Config.default) ?record ?trace ~topology ~protocol () =
         };
     }
   in
+  Array.iter
+    (fun ls ->
+      ls.tx_done <-
+        (fun () ->
+          ls.busy <- false;
+          try_transmit t ls))
+    links;
   (* Synchronized periodic feedback updates on every link (§5: PTP). *)
   (match P.update_interval config with
   | Some interval ->
-    Sim.periodic sim ~cat:"price-update" ~start:interval ~interval (fun () ->
+    Sim.periodic_cat sim ~cat:cat_price_update ~start:interval ~interval
+      (fun () ->
         Array.iter (fun ls -> ls.engine.Price_engine.update ()) links;
         if Trace.on trace Trace.PriceUpdate then
           Array.iteri
@@ -324,7 +358,7 @@ let add_flow t spec =
   Hashtbl.replace t.paths spec.fs_id path;
   Hashtbl.replace t.rtts spec.fs_id d0;
   Hashtbl.replace t.starts spec.fs_id spec.fs_start;
-  Sim.schedule t.sim ~cat:"flow-start" ~at:spec.fs_start (fun () ->
+  Sim.schedule_cat t.sim ~cat:cat_flow_start ~at:spec.fs_start (fun () ->
       Metrics.incr m_flows_started;
       if Trace.on t.trace Trace.FlowStart then
         Trace.emit t.trace Trace.FlowStart ~subject:spec.fs_id
@@ -334,7 +368,11 @@ let add_flow t spec =
 let stop_flow_at t ~id at =
   match Hashtbl.find_opt t.senders id with
   | None -> invalid_arg "Network.stop_flow_at: unknown flow"
-  | Some s -> Sim.schedule t.sim ~cat:"flow-stop" ~at (fun () -> Host.stop s)
+  | Some s ->
+    Sim.schedule_cat t.sim ~cat:cat_flow_stop ~at (fun () ->
+        if not (Host.completed s || Host.stopped s) then
+          Metrics.incr m_flows_stopped;
+        Host.stop s)
 
 let run t ~until =
   let wall0 = Nf_util.Profile.now () in
@@ -379,7 +417,7 @@ let monitor_links t ~links ~every =
       if link < 0 || link >= Array.length t.links then
         invalid_arg "Network.monitor_links: bad link id")
     links;
-  Sim.periodic t.sim ~cat:"monitor" ~interval:every (fun () ->
+  Sim.periodic_cat t.sim ~cat:cat_monitor ~interval:every (fun () ->
       let now = Sim.now t.sim in
       List.iter
         (fun link ->
@@ -393,7 +431,7 @@ let monitor_links t ~links ~every =
         links)
 
 let monitor_metrics ?(registry = Metrics.global) t ~every =
-  Sim.periodic t.sim ~cat:"monitor" ~interval:every (fun () ->
+  Sim.periodic_cat t.sim ~cat:cat_monitor ~interval:every (fun () ->
       Record.snapshot_metrics t.record ~registry ~time:(Sim.now t.sim))
 
 let queue_series t ~link = Record.find t.record Record.Queue ~subject:link

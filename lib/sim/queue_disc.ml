@@ -49,22 +49,23 @@ let ecn_fifo ?(limit_bytes = default_limit_bytes) ~mark_threshold_bytes () =
   fifo_generic ~limit_bytes ~on_enqueue:mark
 
 (* ------------------------------------------------------------------ *)
-(* STFQ *)
+(* STFQ — packets ordered by virtual start tag. The heap is a
+   monomorphic float-keyed SoA heap ({!Nf_util.Fheap}): pushing a packet
+   stores an unboxed tag plus the packet pointer, no per-entry record,
+   and the heap's internal sequence number provides the FIFO tie-break
+   the old [order] field implemented. *)
 
-type stfq_entry = { pkt : Packet.t; start_tag : float; order : int }
+let stfq_dummy =
+  Packet.make_data ~flow:(-1) ~seq:(-1) ~size:0 ~path:[||] ~now:0.
 
 let stfq ?(limit_bytes = default_limit_bytes) () =
-  let cmp a b =
-    match compare a.start_tag b.start_tag with
-    | 0 -> compare a.order b.order
-    | c -> c
+  let heap : Packet.t Nf_util.Fheap.t =
+    Nf_util.Fheap.create ~capacity:64 ~dummy:stfq_dummy ()
   in
-  let heap = Nf_util.Heap.create ~cmp in
   let finish_tags : (int, float) Hashtbl.t = Hashtbl.create 64 in
   let virtual_time = ref 0. in
   let bytes = ref 0 in
   let dropped = ref 0 in
-  let order = ref 0 in
   let enqueue p =
     if !bytes + p.Packet.size > limit_bytes then begin
       incr dropped;
@@ -79,25 +80,26 @@ let stfq ?(limit_bytes = default_limit_bytes) () =
       let start_tag = Float.max !virtual_time prev_finish in
       Hashtbl.replace finish_tags p.Packet.flow
         (start_tag +. p.Packet.virtual_packet_len);
-      incr order;
-      Nf_util.Heap.push heap { pkt = p; start_tag; order = !order };
+      Nf_util.Fheap.push heap ~key:start_tag ~aux:0 p;
       bytes := !bytes + p.Packet.size;
       true
     end
   in
   let dequeue () =
-    match Nf_util.Heap.pop heap with
-    | None -> None
-    | Some e ->
-      virtual_time := e.start_tag;
-      bytes := !bytes - e.pkt.Packet.size;
-      Some e.pkt
+    if Nf_util.Fheap.is_empty heap then None
+    else begin
+      virtual_time := Nf_util.Fheap.top_key heap;
+      let p = Nf_util.Fheap.top heap in
+      Nf_util.Fheap.drop heap;
+      bytes := !bytes - p.Packet.size;
+      Some p
+    end
   in
   {
     enqueue;
     dequeue;
     byte_length = (fun () -> !bytes);
-    packet_count = (fun () -> Nf_util.Heap.length heap);
+    packet_count = (fun () -> Nf_util.Fheap.length heap);
     drops = (fun () -> !dropped);
   }
 

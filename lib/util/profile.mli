@@ -7,7 +7,24 @@
 
     The engine's event loop accounts each handler under its scheduling
     category ([Nf_engine.Sim.schedule ~cat]); coarse-grained phases
-    (oracle solves, xWI runs) wrap themselves in {!time}. *)
+    (oracle solves, xWI runs) wrap themselves in {!time}.
+
+    Categories are interned to integer {!cat} handles: hot paths intern
+    once at module init and pass the handle, so the per-event cost when
+    profiling is two flat-array updates (no string hashing). *)
+
+type cat = int
+(** An interned category handle (a plain [int] so it can ride in the
+    event queue's unboxed aux slot). Only values returned by {!intern}
+    are valid handles. *)
+
+val intern : string -> cat
+(** Intern a category name (idempotent; thread-safe). *)
+
+val cat_name : cat -> string
+
+val record_cat : cat -> float -> unit
+(** Like {!record}, without the interning lookup. *)
 
 val enabled : unit -> bool
 

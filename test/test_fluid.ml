@@ -158,6 +158,7 @@ let synthetic_scheme ~factor =
     interval = 1e-3;
     step = (fun () -> x := 1. -. ((1. -. !x) *. factor));
     rates = (fun () -> [| !x |]);
+    rates_view = (fun () -> [| !x |]);
     rebind = (fun _ -> ());
     observe_remaining = Scheme.nop_observe;
   }

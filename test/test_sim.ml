@@ -361,6 +361,28 @@ let test_flow_completion () =
     (* 1.5 MB at 10 Gbps = 1.2 ms + slack for ramp-up and RTTs. *)
     Alcotest.(check bool) "fct near line-rate time" true (fct >= 1.2e-3 && fct < 1.5e-3)
 
+let test_completion_increments_metric () =
+  (* Regression: nf_sim_flows_completed_total must move when a finite flow
+     finishes. (It legitimately stays 0 across the quick sweep — those
+     experiments run persistent flows torn down by stop_flow_at, which
+     count under nf_sim_flows_stopped_total instead.) *)
+  let m =
+    Nf_util.Metrics.counter Nf_util.Metrics.global "nf_sim_flows_completed_total"
+  in
+  let before = Nf_util.Metrics.counter_value m in
+  let sb = Builders.single_bottleneck ~n_senders:1 () in
+  let net =
+    Network.create ~topology:sb.Builders.sb_topo ~protocol:(proto "numfabric") ()
+  in
+  Network.add_flow net
+    (Network.flow
+       ~utility:(Utility.proportional_fair ())
+       ~size:1.5e5 ~id:0 ~src:sb.Builders.senders.(0) ~dst:sb.Builders.receiver ());
+  Network.run net ~until:10e-3;
+  Alcotest.(check bool) "flow completed" true (Network.fct net 0 <> None);
+  Alcotest.(check bool) "completed counter incremented" true
+    (Nf_util.Metrics.counter_value m > before)
+
 let test_stop_flow_releases_bandwidth () =
   let sb = Builders.single_bottleneck ~n_senders:2 () in
   let net = Network.create ~topology:sb.Builders.sb_topo ~protocol:(proto "numfabric") () in
@@ -783,6 +805,7 @@ let () =
           quick "numfabric parking-lot optimum" test_numfabric_parking_lot_optimum;
           quick "numfabric alpha=2" test_numfabric_alpha2_packet;
           quick "finite flow completes" test_flow_completion;
+          quick "completion increments metric" test_completion_increments_metric;
           quick "stop releases bandwidth" test_stop_flow_releases_bandwidth;
           quick "dctcp shares the link" test_dctcp_shares_link;
           quick "rcp fair share" test_rcp_fair_share;

@@ -89,6 +89,83 @@ let prop_heap_interleaved =
       tail = List.sort compare tail)
 
 (* ------------------------------------------------------------------ *)
+(* Fheap (the SoA float-keyed heap under the event engine and STFQ) *)
+
+module Fheap = Nf_util.Fheap
+
+let test_fheap_basic () =
+  let h = Fheap.create ~capacity:2 ~dummy:(-1) () in
+  Alcotest.(check bool) "empty" true (Fheap.is_empty h);
+  Fheap.push h ~key:5. ~aux:50 500;
+  Fheap.push h ~key:1. ~aux:10 100;
+  Fheap.push h ~key:3. ~aux:30 300;
+  Alcotest.(check int) "length" 3 (Fheap.length h);
+  check_float "top key" 1. (Fheap.top_key h);
+  Alcotest.(check int) "top aux" 10 (Fheap.top_aux h);
+  Alcotest.(check int) "top" 100 (Fheap.top h);
+  Alcotest.(check int) "pop1" 100 (Fheap.pop h);
+  Alcotest.(check int) "pop2" 300 (Fheap.pop h);
+  Alcotest.(check int) "pop3" 500 (Fheap.pop h);
+  Alcotest.(check bool) "empty again" true (Fheap.is_empty h);
+  Alcotest.check_raises "pop on empty" (Invalid_argument "Fheap.top: empty heap")
+    (fun () -> ignore (Fheap.pop h : int))
+
+let test_fheap_fifo_ties () =
+  let h = Fheap.create ~dummy:(-1) () in
+  for i = 0 to 9 do
+    Fheap.push h ~key:1. ~aux:i i
+  done;
+  for i = 0 to 9 do
+    Alcotest.(check int) (Printf.sprintf "tie %d in FIFO order" i) i (Fheap.pop h)
+  done
+
+let test_fheap_clear_and_growth () =
+  let h = Fheap.create ~capacity:1 ~dummy:0 () in
+  for i = 99 downto 0 do
+    Fheap.push h ~key:(float_of_int i) ~aux:i i
+  done;
+  Alcotest.(check int) "grown length" 100 (Fheap.length h);
+  for i = 0 to 99 do
+    Alcotest.(check int) (Printf.sprintf "pop %d" i) i (Fheap.pop h)
+  done;
+  Fheap.push h ~key:1. ~aux:0 7;
+  Fheap.clear h;
+  Alcotest.(check bool) "cleared" true (Fheap.is_empty h);
+  Fheap.push h ~key:2. ~aux:0 9;
+  Alcotest.(check int) "usable after clear" 9 (Fheap.pop h)
+
+(* The correctness contract of the event-engine swap: Fheap pops in
+   exactly the order of the reference heap ordered by (key, push seq) —
+   keys drawn from 8 values so every list has exact-tie groups. *)
+let prop_fheap_matches_reference =
+  QCheck.Test.make ~name:"fheap pops in reference (key, seq) order" ~count:300
+    QCheck.(list (int_bound 7))
+    (fun keys ->
+      let h = Fheap.create ~capacity:4 ~dummy:(-1) () in
+      let ref_heap =
+        Heap.create ~cmp:(fun (ka, sa) (kb, sb) ->
+            match compare (ka : float) kb with 0 -> compare sa sb | c -> c)
+      in
+      List.iteri
+        (fun i k ->
+          let key = float_of_int k /. 4. in
+          Fheap.push h ~key ~aux:k i;
+          Heap.push ref_heap (key, i))
+        keys;
+      let ok = ref true in
+      let rec drain () =
+        match Heap.pop ref_heap with
+        | None -> if not (Fheap.is_empty h) then ok := false
+        | Some (key, seq) ->
+          if Fheap.is_empty h then ok := false
+          else if Fheap.top_key h <> key then ok := false
+          else if Fheap.pop h <> seq then ok := false
+          else drain ()
+      in
+      drain ();
+      !ok)
+
+(* ------------------------------------------------------------------ *)
 (* EWMA *)
 
 let test_ewma_gain () =
@@ -688,6 +765,13 @@ let () =
           quick "clear" test_heap_clear;
           qcheck prop_heap_sorts;
           qcheck prop_heap_interleaved;
+        ] );
+      ( "fheap",
+        [
+          quick "basic order" test_fheap_basic;
+          quick "FIFO on equal keys" test_fheap_fifo_ties;
+          quick "clear and growth" test_fheap_clear_and_growth;
+          qcheck prop_fheap_matches_reference;
         ] );
       ( "ewma",
         [
