@@ -44,7 +44,7 @@ let git_rev () =
     | _ -> None
   with
   | rev -> rev
-  | exception _ -> None
+  | exception (Unix.Unix_error _ | Sys_error _ | End_of_file) -> None
 
 let json_escape s =
   let b = Buffer.create (String.length s) in

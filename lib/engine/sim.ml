@@ -44,7 +44,7 @@ let now t = t.clock
    nobody reads metrics, so it is sampled every 2^8 schedules instead. *)
 let depth_sample_mask = 0xFF
 
-let schedule_cat t ~cat ~at action =
+let[@nf.hot] schedule_cat t ~cat ~at action =
   if at < t.clock then
     invalid_arg
       (Printf.sprintf "Sim.schedule: event in the past (at=%g, now=%g)" at
@@ -55,7 +55,7 @@ let schedule_cat t ~cat ~at action =
   if s land depth_sample_mask = 0 then
     Metrics.max_gauge m_heap_depth (float_of_int (Fheap.length t.queue))
 
-let schedule_after_cat t ~cat ~delay action =
+let[@nf.hot] schedule_after_cat t ~cat ~delay action =
   if delay < 0. then invalid_arg "Sim.schedule_after: negative delay";
   schedule_cat t ~cat ~at:(t.clock +. delay) action
 
@@ -78,19 +78,11 @@ let schedule_after t ?cat ~delay action =
 let periodic t ?cat ?start ~interval action =
   periodic_cat t ~cat:(cat_of_opt cat) ?start ~interval action
 
-let run ?until t =
-  t.stopped <- false;
-  let horizon = match until with Some u -> u | None -> infinity in
+(* The dispatch loop proper, split out of [run] so it can carry [@nf.hot]
+   (the Fun.protect closure in [run] is per-run, not per-event, and stays
+   outside the annotation). *)
+let[@nf.hot] run_loop t horizon profiling dispatched =
   let q = t.queue in
-  (* Hoisted out of the dispatch loop: toggling profiling from inside a
-     handler takes effect on the next [run]. Event/processed counters are
-     batched and settled once per run (also on an escaping exception). *)
-  let profiling = Profile.enabled () in
-  let dispatched = ref 0 in
-  Fun.protect ~finally:(fun () ->
-      t.processed <- t.processed + !dispatched;
-      Metrics.add m_events !dispatched)
-  @@ fun () ->
   let continue = ref true in
   while !continue && not t.stopped do
     if Fheap.is_empty q then begin
@@ -118,6 +110,19 @@ let run ?until t =
       end
     end
   done
+
+let run ?until t =
+  t.stopped <- false;
+  let horizon = match until with Some u -> u | None -> infinity in
+  (* Hoisted out of the dispatch loop: toggling profiling from inside a
+     handler takes effect on the next [run]. Event/processed counters are
+     batched and settled once per run (also on an escaping exception). *)
+  let profiling = Profile.enabled () in
+  let dispatched = ref 0 in
+  Fun.protect ~finally:(fun () ->
+      t.processed <- t.processed + !dispatched;
+      Metrics.add m_events !dispatched)
+  @@ fun () -> run_loop t horizon profiling dispatched
 
 let stop t = t.stopped <- true
 

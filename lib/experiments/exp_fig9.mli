@@ -1,0 +1,18 @@
+(* Figure 9: weighted allocations against the dual-oracle reference.
+   Experiment modules are data producers: [run] computes a typed result,
+   [report] converts it to a Report.t table, [pp] renders it for humans.
+   Registered in Registry; enumerated by nf_run and bench. *)
+
+module Bf = Nf_num.Bandwidth_function
+module Problem = Nf_num.Problem
+val gbps : float -> float
+type point = {
+  capacity : float;
+  expected : float array;
+  achieved : float array;
+}
+type t = point list
+val run : ?alpha:float -> ?capacities:float list -> unit -> point list
+val max_rel_error : point list -> float
+val report : point list -> Report.t
+val pp : Format.formatter -> point list -> unit

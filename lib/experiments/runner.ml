@@ -21,14 +21,15 @@ let transient = function Nf_num.Oracle.Did_not_converge _ -> true | _ -> false
    invisible next to experiment runtimes). *)
 type attempt = {
   idx : int;
-  t : task;
   attempt_no : int;  (* 0-based *)
   started : float;
   cell : (Report.t, exn) Stdlib.result option Atomic.t;
   domain : unit Domain.t;
 }
 
-let now () = Unix.gettimeofday ()
+(* Wall-clock on purpose: task timeouts and retry bookkeeping are about
+   real elapsed time; nothing derived from it enters a Report. *)
+let[@nf.allow "determinism"] now () = Unix.gettimeofday ()
 
 let spawn ~ctx ~idx ~attempt_no t =
   let cell = Atomic.make None in
@@ -42,7 +43,7 @@ let spawn ~ctx ~idx ~attempt_no t =
         in
         Atomic.set cell (Some outcome))
   in
-  { idx; t; attempt_no; started = now (); cell; domain }
+  { idx; attempt_no; started = now (); cell; domain }
 
 let run ?jobs ?timeout ?(retries = 1) ?(is_transient = transient)
     ?(ctx = Ctx.default) tasks =

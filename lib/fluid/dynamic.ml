@@ -28,7 +28,12 @@ type result = {
 type active = { spec : flow_spec; mutable remaining : float }
 
 let sort_flows flows =
-  List.sort (fun a b -> compare (a.arrival, a.key) (b.arrival, b.key)) flows
+  List.sort
+    (fun a b ->
+      match Float.compare a.arrival b.arrival with
+      | 0 -> Int.compare a.key b.key
+      | c -> c)
+    flows
 
 let build_problem ~caps actives =
   let groups =
@@ -95,7 +100,7 @@ let run ~caps ~make_scheme ~flows ?reutility ?until () =
       | None -> assert false
       | Some s ->
         let dt = s.Scheme.interval in
-        if reutility <> None then rebuild ();
+        if Option.is_some reutility then rebuild ();
         s.Scheme.observe_remaining
           (Array.of_list (List.map (fun a -> a.remaining) !actives));
         s.Scheme.step ();
@@ -165,7 +170,8 @@ let run_ideal ?(tol = 1e-5) ~caps ~flows () =
       let p = build_problem ~caps !actives in
       let params = Nf_num.Xwi_core.default_params in
       let state =
-        if Array.for_all (fun x -> x = 0.) !prices then Nf_num.Xwi_core.init p
+        if Array.for_all (fun x -> Float.equal x 0.) !prices then
+          Nf_num.Xwi_core.init p
         else Nf_num.Xwi_core.init_with_prices p ~prices:!prices
       in
       let run = Nf_num.Xwi_core.run_until_kkt ~tol ~max_iters:3_000 p params state in

@@ -7,8 +7,8 @@ let allocate ~caps ~paths ~remaining =
   let order = Array.init n (fun i -> i) in
   Array.sort
     (fun a b ->
-      match compare remaining.(a) remaining.(b) with
-      | 0 -> compare a b
+      match Float.compare remaining.(a) remaining.(b) with
+      | 0 -> Int.compare a b
       | c -> c)
     order;
   let residual = Array.copy caps in

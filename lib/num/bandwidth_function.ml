@@ -11,7 +11,7 @@ let invert_curve b =
 
 let create curve =
   (match Piecewise.points curve with
-  | (x0, y0) :: _ when x0 = 0. && y0 = 0. -> ()
+  | (x0, y0) :: _ when Float.equal x0 0. && Float.equal y0 0. -> ()
   | _ -> invalid_arg "Bandwidth_function.create: curve must start at (0, 0)");
   if not (Piecewise.strictly_increasing curve) then
     invalid_arg
@@ -20,7 +20,7 @@ let create curve =
 
 let create_strict ?slope_floor curve =
   (match Piecewise.points curve with
-  | (x0, y0) :: _ when x0 = 0. && y0 = 0. -> ()
+  | (x0, y0) :: _ when Float.equal x0 0. && Float.equal y0 0. -> ()
   | _ -> invalid_arg "Bandwidth_function.create_strict: curve must start at (0, 0)");
   let pts = Piecewise.points curve in
   let max_y = List.fold_left (fun acc (_, y) -> Float.max acc y) 0. pts in
@@ -49,7 +49,7 @@ let bandwidth t f =
 
 let fair_share t x =
   if x < 0. then invalid_arg "Bandwidth_function.fair_share: negative bandwidth";
-  if x = 0. then 0. else Piecewise.inverse t.b x
+  if Float.equal x 0. then 0. else Piecewise.inverse t.b x
 
 let curve t = t.b
 
@@ -115,7 +115,7 @@ let waterfill ~caps ~paths ~bfs =
     let acc = ref 0. in
     Array.iteri
       (fun i path ->
-        if Array.exists (fun lid -> lid = l) path then
+        if Array.exists (fun lid -> Int.equal lid l) path then
           acc := !acc +. (if frozen.(i) then frozen_rate.(i) else bandwidth bfs.(i) f))
       paths;
     !acc
@@ -126,7 +126,7 @@ let waterfill ~caps ~paths ~bfs =
       (* Only links carrying an active flow can newly saturate. *)
       let has_active =
         Array.exists
-          (fun i -> not frozen.(i) && Array.exists (fun lid -> lid = l) paths.(i))
+          (fun i -> not frozen.(i) && Array.exists (fun lid -> Int.equal lid l) paths.(i))
           (Array.init n_flows (fun i -> i))
       in
       if has_active && load l f >= caps.(l) *. (1. -. 1e-12) then hit := true
@@ -165,7 +165,7 @@ let waterfill ~caps ~paths ~bfs =
         if load l f_star >= caps.(l) *. (1. -. 1e-9) then
           Array.iteri
             (fun i path ->
-              if (not frozen.(i)) && Array.exists (fun lid -> lid = l) path then begin
+              if (not frozen.(i)) && Array.exists (fun lid -> Int.equal lid l) path then begin
                 frozen.(i) <- true;
                 frozen_rate.(i) <- bandwidth bfs.(i) f_star;
                 decr n_active

@@ -86,7 +86,7 @@ let solve_dual ?(tol = 1e-8) ?(max_iters = 300_000) problem =
         !acc
       in
       let cand_obj = dual_objective problem ~prices:candidate in
-      if cand_obj <= !obj -. (0.25 /. !step *. move) || move = 0. then begin
+      if cand_obj <= !obj -. (0.25 /. !step *. move) || Float.equal move 0. then begin
         Array.blit candidate 0 prices 0 n_links;
         obj := cand_obj;
         accepted := true;

@@ -12,7 +12,7 @@ type t = {
 }
 
 let create ~caps ~groups =
-  if groups = [] then invalid_arg "Problem.create: no groups";
+  if List.is_empty groups then invalid_arg "Problem.create: no groups";
   let n_links = Array.length caps in
   Array.iteri
     (fun i c ->
@@ -25,7 +25,7 @@ let create ~caps ~groups =
     Array.of_list
       (List.mapi
          (fun g spec ->
-           if spec.paths = [] then invalid_arg "Problem.create: group with no paths";
+           if List.is_empty spec.paths then invalid_arg "Problem.create: group with no paths";
            let ids =
              List.map
                (fun path ->

@@ -81,7 +81,7 @@ let seed_prices problem ~rates =
   done;
   prices
 
-let flow_weights_into problem ~prices ~prev_rates ~out =
+let[@nf.hot] flow_weights_into problem ~prices ~prev_rates ~out =
   for g = 0 to Problem.n_groups problem - 1 do
     let members = Problem.group_members problem g in
     let u = Problem.group_utility problem g in
@@ -121,7 +121,7 @@ let flow_weights problem ~prices ~prev_rates =
    [prices] in place: each link's new price reads only its own old price
    plus the residuals/loads precomputed above, so the in-place sweep is
    equivalent to the synchronized update. *)
-let price_update_into problem params bufs ~prices ~rates =
+let[@nf.hot] price_update_into problem params bufs ~prices ~rates =
   let n_links = Problem.n_links problem in
   let caps = Problem.caps problem in
   let loads = bufs.b_loads in
@@ -227,7 +227,7 @@ let init_with_prices problem ~prices =
 (* One iteration, allocation-free: weights into [state.weights], max-min
    rates into [state.rates] (prev rates are consumed by the weight
    computation before the solve overwrites them), prices in place. *)
-let step problem params state =
+let[@nf.hot] step problem params state =
   flow_weights_into problem ~prices:state.prices ~prev_rates:state.rates
     ~out:state.weights;
   Maxmin.solve_problem_into state.buffers.b_maxmin problem

@@ -22,8 +22,6 @@ type sender = {
   path : int array;
   size : float;  (* bytes; infinity = persistent *)
   n_packets : int;  (* -1 for persistent *)
-  d0 : float;
-  line_rate : float;
   mutable handle : Protocol.flow_handle;
   acked : bool array;  (* empty for persistent flows *)
   inflight_seqs : (int, unit) Hashtbl.t;
@@ -75,8 +73,6 @@ let make_sender ctx ~flow ~path ~size ~d0 ~line_rate ~protocol ~utility =
       path;
       size;
       n_packets;
-      d0;
-      line_rate;
       handle = null_handle;
       acked = (if n_packets > 0 then Array.make n_packets false else [||]);
       inflight_seqs = Hashtbl.create 64;
@@ -244,7 +240,6 @@ let handle_ack ctx s (pkt : Packet.t) =
 (* Receiver *)
 
 type receiver = {
-  r_flow : int;
   rpath : int array;
   mutable last_arrival : float;
   mutable recv_bytes : float;
@@ -252,9 +247,8 @@ type receiver = {
   r_sink : (time:float -> float -> unit) option;
 }
 
-let make_receiver ctx ~flow ~rpath ~sink =
+let make_receiver ctx ~flow:_ ~rpath ~sink =
   {
-    r_flow = flow;
     rpath;
     last_arrival = Float.nan;
     recv_bytes = 0.;

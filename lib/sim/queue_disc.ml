@@ -66,7 +66,7 @@ let stfq ?(limit_bytes = default_limit_bytes) () =
   let virtual_time = ref 0. in
   let bytes = ref 0 in
   let dropped = ref 0 in
-  let enqueue p =
+  let[@nf.hot] enqueue p =
     if !bytes + p.Packet.size > limit_bytes then begin
       incr dropped;
       false
@@ -85,7 +85,7 @@ let stfq ?(limit_bytes = default_limit_bytes) () =
       true
     end
   in
-  let dequeue () =
+  let[@nf.hot] dequeue () =
     if Nf_util.Fheap.is_empty heap then None
     else begin
       virtual_time := Nf_util.Fheap.top_key heap;

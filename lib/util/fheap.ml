@@ -45,7 +45,7 @@ let grow h =
   Array.blit h.data 0 data 0 h.size;
   h.data <- data
 
-let push h ~key ~aux v =
+let[@nf.hot] push h ~key ~aux v =
   if h.size = Array.length h.keys then grow h;
   let seq = h.next_seq in
   h.next_seq <- seq + 1;
@@ -74,19 +74,19 @@ let push h ~key ~aux v =
 let check_nonempty h op =
   if h.size = 0 then invalid_arg (Printf.sprintf "Fheap.%s: empty heap" op)
 
-let top_key h =
+let[@nf.hot] top_key h =
   check_nonempty h "top_key";
   h.keys.(0)
 
-let top_aux h =
+let[@nf.hot] top_aux h =
   check_nonempty h "top_aux";
   h.auxs.(0)
 
-let top h =
+let[@nf.hot] top h =
   check_nonempty h "top";
   h.data.(0)
 
-let drop h =
+let[@nf.hot] drop h =
   check_nonempty h "drop";
   let n = h.size - 1 in
   h.size <- n;
@@ -128,7 +128,7 @@ let drop h =
     data.(!i) <- v
   end
 
-let pop h =
+let[@nf.hot] pop h =
   let v = top h in
   drop h;
   v

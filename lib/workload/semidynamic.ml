@@ -26,7 +26,11 @@ let generate rng ~hosts ?(n_paths = 1000) ?(flows_per_event = 100)
   let inactive () =
     List.filter (fun i -> not (Hashtbl.mem active i)) (List.init n_paths (fun i -> i))
   in
-  let actives () = Hashtbl.fold (fun k () acc -> k :: acc) active [] in
+  (* Sorted so the candidate order (and hence the rng-shuffled pick) does
+     not depend on hash-bucket layout. *)
+  let actives () =
+    List.sort Int.compare (Hashtbl.fold (fun k () acc -> k :: acc) active [])
+  in
   let events =
     List.init n_events (fun _ ->
         let n_active = Hashtbl.length active in

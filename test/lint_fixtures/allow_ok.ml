@@ -1,0 +1,12 @@
+(* Fixture: one violation per rule, each silenced with [@nf.allow]. Lints
+   clean under the strict config with every rule enabled. *)
+
+[@@@nf.allow "mli-missing"]
+
+let seed () = (Random.self_init () [@nf.allow "determinism"])
+
+let close a b = ((a = b) [@nf.allow "float-compare"])
+
+let[@nf.hot] pair x = ((x, x) [@nf.allow "hot-alloc"])
+
+let[@nf.allow "exn-swallow"] parse s = try int_of_string s with _ -> 0

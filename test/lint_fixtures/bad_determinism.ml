@@ -1,0 +1,9 @@
+(* Fixture: every binding below trips the [determinism] rule. *)
+
+let seed () = Random.self_init ()
+
+let stamp () = Unix.gettimeofday ()
+
+let cpu () = Sys.time ()
+
+let dump tbl = Hashtbl.iter (fun k v -> Printf.printf "%d %d\n" k v) tbl

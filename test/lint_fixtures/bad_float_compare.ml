@@ -1,0 +1,9 @@
+(* Fixture: polymorphic comparisons on possibly-float operands. *)
+
+let close a b = a = b
+
+let differs a b = a <> b
+
+let worst a b = max a b
+
+let order xs = List.sort compare xs

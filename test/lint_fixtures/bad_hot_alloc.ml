@@ -1,0 +1,9 @@
+(* Fixture: [@nf.hot] bodies that allocate. *)
+
+let[@nf.hot] pair x = (x, x)
+
+let[@nf.hot] bump xs x = x :: xs
+
+let[@nf.hot] capture x =
+  let f y = x + y in
+  f 1

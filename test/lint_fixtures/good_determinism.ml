@@ -1,0 +1,10 @@
+(* Fixture: deterministic equivalents of bad_determinism.ml. *)
+
+let seed () = Random.init 42
+
+let dump tbl =
+  List.iter
+    (fun (k, v) -> Printf.printf "%d %d\n" k v)
+    (List.sort
+       (fun (a, _) (b, _) -> Int.compare a b)
+       (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []))

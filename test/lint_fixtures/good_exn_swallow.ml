@@ -1,0 +1,11 @@
+(* Fixture: handlers that name the exception, consume it, or re-raise. *)
+
+let read_first path = try Some (input_line (open_in path)) with End_of_file -> None
+
+let guarded f =
+  try f ()
+  with e ->
+    Printf.eprintf "guarded: %s\n" (Printexc.to_string e);
+    raise e
+
+let isolate f = match f () with v -> Ok v | exception e -> Error e

@@ -1,0 +1,11 @@
+(* Fixture: monomorphic comparisons, or operands that are obviously ints. *)
+
+let close a b = Float.equal a b
+
+let count n = n = 0
+
+let initial c = c = 'a'
+
+let worst a b = Float.max a b
+
+let order xs = List.sort Float.compare xs

@@ -1,0 +1,7 @@
+(* Fixture: allocation-free hot bodies; cold code may allocate freely. *)
+
+let[@nf.hot] bump arr i = arr.(i) <- arr.(i) +. 1.
+
+let[@nf.hot] clamp x lo hi = if x < lo then lo else if x > hi then hi else x
+
+let pair x = (x, x)

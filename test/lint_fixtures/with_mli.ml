@@ -1,0 +1,3 @@
+(* Fixture: module with a matching interface; [mli-missing] stays quiet. *)
+
+let answer = 42

@@ -1,0 +1,177 @@
+(* Tests for the nf_lint rules library, driven off the parse-only
+   fixtures in lint_fixtures/ (fixtures are linted, never compiled). *)
+
+module Config = Nf_lint_rules.Config
+module Driver = Nf_lint_rules.Driver
+module Finding = Nf_lint_rules.Finding
+module Rules = Nf_lint_rules.Rules
+
+(* dune runtest runs the binary inside test/; dune exec runs it from the
+   workspace root. Accept either. *)
+let fixture_dir =
+  if Sys.file_exists "lint_fixtures" then "lint_fixtures"
+  else Filename.concat "test" "lint_fixtures"
+
+let fixture name = Filename.concat fixture_dir name
+
+(* Lint one fixture with only [rule] enabled, under the strict config. *)
+let lint_rule rule name =
+  Driver.lint_file ~enabled:(String.equal rule) ~config:Config.strict
+    (fixture name)
+
+let rules_of findings = List.map (fun f -> f.Finding.rule) findings
+
+let check_flags rule ~bad ~good ~expect () =
+  let findings = lint_rule rule bad in
+  Alcotest.(check int)
+    (Printf.sprintf "%s findings in %s" rule bad)
+    expect (List.length findings);
+  List.iter
+    (fun f ->
+      Alcotest.(check string) "rule id" rule f.Finding.rule;
+      Alcotest.(check string) "file" (fixture bad) f.Finding.file;
+      Alcotest.(check bool) "line is positive" true (f.Finding.line > 0))
+    findings;
+  Alcotest.(check (list string))
+    (Printf.sprintf "%s clean for %s" good rule)
+    []
+    (rules_of (lint_rule rule good))
+
+let test_determinism =
+  check_flags "determinism" ~bad:"bad_determinism.ml"
+    ~good:"good_determinism.ml" ~expect:4
+
+let test_float_compare =
+  check_flags "float-compare" ~bad:"bad_float_compare.ml"
+    ~good:"good_float_compare.ml" ~expect:4
+
+let test_hot_alloc =
+  check_flags "hot-alloc" ~bad:"bad_hot_alloc.ml" ~good:"good_hot_alloc.ml"
+    ~expect:3
+
+let test_exn_swallow =
+  check_flags "exn-swallow" ~bad:"bad_exn_swallow.ml"
+    ~good:"good_exn_swallow.ml" ~expect:3
+
+let test_mli_missing () =
+  let missing =
+    lint_rule "mli-missing" "bad_determinism.ml" |> rules_of
+  in
+  Alcotest.(check (list string)) "no .mli next to fixture" [ "mli-missing" ]
+    missing;
+  Alcotest.(check (list string))
+    "with_mli.mli satisfies the rule" []
+    (rules_of (lint_rule "mli-missing" "with_mli.ml"))
+
+let test_allow_suppresses () =
+  (* Every rule enabled: the [@nf.allow] annotations must silence all of
+     the deliberate violations in allow_ok.ml. *)
+  let findings = Driver.lint_file ~config:Config.strict (fixture "allow_ok.ml") in
+  Alcotest.(check (list string)) "allow_ok.ml lints clean" []
+    (List.map Finding.to_string findings)
+
+let test_wallclock_exemption () =
+  (* Same source, exempt path policy: the wall-clock reads stop being
+     findings but Random.self_init and Hashtbl.iter remain. *)
+  let exempt =
+    { Config.strict with Config.wallclock_exempt = (fun _ -> true) }
+  in
+  let findings =
+    Driver.lint_file ~enabled:(String.equal "determinism") ~config:exempt
+      (fixture "bad_determinism.ml")
+  in
+  Alcotest.(check int) "only non-wallclock findings remain" 2
+    (List.length findings)
+
+let test_output_deterministic () =
+  let run () = Driver.run ~config:Config.strict [ fixture_dir ] in
+  let a = run () and b = run () in
+  Alcotest.(check (list string))
+    "repeat runs are byte-identical"
+    (List.map Finding.to_string a)
+    (List.map Finding.to_string b);
+  let sorted = List.sort Finding.compare a in
+  Alcotest.(check (list string))
+    "findings come back sorted"
+    (List.map Finding.to_string sorted)
+    (List.map Finding.to_string a)
+
+let test_collect_files_sorted () =
+  let files = Driver.collect_files [ fixture_dir ] in
+  Alcotest.(check bool) "found the fixtures" true (List.length files >= 10);
+  let sorted = List.sort_uniq compare files in
+  Alcotest.(check (list string)) "walk is sorted and deduplicated" sorted files;
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (f ^ " ends in .ml") true
+        (Filename.check_suffix f ".ml"))
+    files
+
+let test_baseline_roundtrip () =
+  let findings =
+    Driver.lint_file ~enabled:(String.equal "determinism")
+      ~config:Config.strict
+      (fixture "bad_determinism.ml")
+  in
+  let keys = Driver.baseline_of_findings findings in
+  let r = Driver.apply_baseline keys findings in
+  Alcotest.(check int) "all findings baselined" (List.length findings)
+    r.Driver.baselined;
+  Alcotest.(check (list string)) "nothing fresh" []
+    (List.map Finding.to_string r.Driver.fresh);
+  Alcotest.(check (list string)) "nothing stale" [] r.Driver.stale;
+  let r' = Driver.apply_baseline ("nosuch.ml [determinism] ghost" :: keys) findings in
+  Alcotest.(check (list string))
+    "unmatched entries reported stale"
+    [ "nosuch.ml [determinism] ghost" ]
+    r'.Driver.stale;
+  let r'' = Driver.apply_baseline [] findings in
+  Alcotest.(check int) "empty baseline suppresses nothing"
+    (List.length findings)
+    (List.length r''.Driver.fresh)
+
+let test_parse_error_is_finding () =
+  let tmp = Filename.temp_file "nf_lint_fixture" ".ml" in
+  let oc = open_out tmp in
+  output_string oc "let = in";
+  close_out oc;
+  let findings = Driver.lint_file ~config:Config.strict tmp in
+  Sys.remove tmp;
+  Alcotest.(check (list string)) "parse failure becomes a finding"
+    [ "parse-error" ] (rules_of findings)
+
+let test_catalog () =
+  Alcotest.(check (list string))
+    "rule catalog"
+    [ "determinism"; "float-compare"; "hot-alloc"; "exn-swallow"; "mli-missing" ]
+    Rules.rule_ids
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "float-compare" `Quick test_float_compare;
+          Alcotest.test_case "hot-alloc" `Quick test_hot_alloc;
+          Alcotest.test_case "exn-swallow" `Quick test_exn_swallow;
+          Alcotest.test_case "mli-missing" `Quick test_mli_missing;
+          Alcotest.test_case "catalog" `Quick test_catalog;
+        ] );
+      ( "suppression",
+        [
+          Alcotest.test_case "nf.allow" `Quick test_allow_suppresses;
+          Alcotest.test_case "wallclock exemption" `Quick
+            test_wallclock_exemption;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "deterministic output" `Quick
+            test_output_deterministic;
+          Alcotest.test_case "sorted walk" `Quick test_collect_files_sorted;
+          Alcotest.test_case "baseline roundtrip" `Quick
+            test_baseline_roundtrip;
+          Alcotest.test_case "parse error" `Quick test_parse_error_is_finding;
+        ] );
+    ]

@@ -1,0 +1,58 @@
+type t = {
+  wallclock_exempt : string -> bool;
+  float_strict : string -> bool;
+  hashtbl_ordered : string -> bool;
+  require_mli : string -> bool;
+}
+
+let normalize path =
+  let path = String.map (fun c -> if c = '\\' then '/' else c) path in
+  let rec strip p =
+    if String.length p >= 2 && String.sub p 0 2 = "./" then
+      strip (String.sub p 2 (String.length p - 2))
+    else p
+  in
+  strip path
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let has_suffix ~suffix s =
+  String.length s >= String.length suffix
+  && String.sub s (String.length s - String.length suffix) (String.length suffix)
+     = suffix
+
+(* The repo policy. Paths are matched as given on the command line,
+   normalized to '/' separators with any leading "./" stripped, so the
+   linter must be invoked from the repository root (as the dune alias and
+   CI do). *)
+let repo_default =
+  {
+    (* Profile owns the wall clock; bench harnesses measure it. *)
+    wallclock_exempt =
+      (fun p ->
+        let p = normalize p in
+        has_prefix ~prefix:"bench/" p || has_suffix ~suffix:"/profile.ml" p);
+    (* The numeric kernels: a polymorphic compare on floats here is either
+       a nan-semantics bug waiting to happen or a silent deoptimization. *)
+    float_strict =
+      (fun p ->
+        let p = normalize p in
+        has_prefix ~prefix:"lib/num/" p || has_prefix ~prefix:"lib/fluid/" p);
+    (* Every library module can feed Record/Report/Metrics output, so
+       unordered Hashtbl traversal is banned across lib/ unless the result
+       is sorted in place. *)
+    hashtbl_ordered = (fun p -> has_prefix ~prefix:"lib/" (normalize p));
+    require_mli = (fun p -> has_prefix ~prefix:"lib/" (normalize p));
+  }
+
+(* Every path-scoped rule active everywhere, wall-clock nowhere exempt:
+   what the fixture tests run under. *)
+let strict =
+  {
+    wallclock_exempt = (fun _ -> false);
+    float_strict = (fun _ -> true);
+    hashtbl_ordered = (fun _ -> true);
+    require_mli = (fun _ -> true);
+  }

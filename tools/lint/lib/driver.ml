@@ -1,0 +1,114 @@
+(* File walking, parsing, baseline handling. Everything here is kept
+   deterministic on purpose: directory entries are sorted before
+   descending, the final file list is sorted and deduplicated, and
+   findings are sorted with [Finding.compare], so two runs on different
+   filesystems produce byte-identical reports and baseline diffs. *)
+
+let is_ml path = Filename.check_suffix path ".ml"
+
+let skip_dir name =
+  name = "_build" || name = "_opam"
+  || (String.length name > 0 && name.[0] = '.')
+
+let rec walk acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list
+    |> List.sort String.compare
+    |> List.fold_left
+         (fun acc name ->
+           if skip_dir name then acc else walk acc (Filename.concat path name))
+         acc
+  else if is_ml path then path :: acc
+  else acc
+
+let collect_files roots =
+  let files =
+    List.fold_left
+      (fun acc root ->
+        if not (Sys.file_exists root) then
+          raise (Sys_error (Printf.sprintf "%s: no such file or directory" root))
+        else walk acc root)
+      [] roots
+  in
+  List.sort_uniq String.compare (List.map Config.normalize files)
+
+let parse_implementation path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lexbuf = Lexing.from_channel ic in
+      Location.init lexbuf path;
+      Parse.implementation lexbuf)
+
+let lint_file ?enabled ~config path =
+  let ctx = Rules.make_ctx ?enabled ~config path in
+  (match parse_implementation path with
+  | str ->
+    Rules.check_structure ctx str;
+    Rules.check_mli ctx ~mli_exists:(Sys.file_exists (path ^ "i")) str
+  | exception exn ->
+    let line, col, msg =
+      match Location.error_of_exn exn with
+      | Some (`Ok err) ->
+        let loc = err.Location.main.Location.loc in
+        ( loc.Location.loc_start.pos_lnum,
+          loc.Location.loc_start.pos_cnum - loc.Location.loc_start.pos_bol,
+          Format.asprintf "%t" err.Location.main.Location.txt )
+      | _ -> (1, 0, Printexc.to_string exn)
+    in
+    Rules.add_finding ctx
+      (Finding.v ~file:(Config.normalize path) ~line ~col ~rule:"parse-error"
+         msg));
+  Rules.findings ctx
+
+let run ?enabled ?(config = Config.repo_default) roots =
+  let files = collect_files roots in
+  List.concat_map (fun f -> lint_file ?enabled ~config f) files
+  |> List.sort Finding.compare
+
+(* ------------------------------------------------------------------ *)
+(* Baseline: one [Finding.baseline_key] per line; '#' comments and blank
+   lines ignored. *)
+
+type baseline_result = {
+  fresh : Finding.t list;  (* findings not covered by the baseline *)
+  baselined : int;  (* findings suppressed by the baseline *)
+  stale : string list;  (* baseline entries that matched nothing *)
+}
+
+let load_baseline path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec loop acc =
+        match input_line ic with
+        | line ->
+          let line = String.trim line in
+          let acc =
+            if line = "" || line.[0] = '#' then acc else line :: acc
+          in
+          loop acc
+        | exception End_of_file -> List.rev acc
+      in
+      loop [])
+
+let apply_baseline entries findings =
+  let used = Hashtbl.create 16 in
+  let fresh, baselined =
+    List.fold_left
+      (fun (fresh, n) f ->
+        let key = Finding.baseline_key f in
+        if List.mem key entries then begin
+          Hashtbl.replace used key ();
+          (fresh, n + 1)
+        end
+        else (f :: fresh, n))
+      ([], 0) findings
+  in
+  let stale = List.filter (fun e -> not (Hashtbl.mem used e)) entries in
+  { fresh = List.rev fresh; baselined; stale }
+
+let baseline_of_findings findings =
+  List.sort_uniq String.compare (List.map Finding.baseline_key findings)

@@ -1,0 +1,39 @@
+(** Deterministic file walk + parse + rule dispatch + baseline.
+
+    The walk sorts directory entries before descending and the merged
+    file list and findings are sorted, so output is byte-identical
+    across filesystems (what makes a committed baseline diffable). *)
+
+(** Expand roots (files or directories) into the sorted, deduplicated
+    list of [.ml] files, skipping [_build]/[_opam]/dot-directories.
+    Raises [Sys_error] on a nonexistent root. *)
+val collect_files : string list -> string list
+
+(** Lint one file. A file that fails to parse yields a single
+    [parse-error] finding rather than an exception. *)
+val lint_file :
+  ?enabled:(string -> bool) -> config:Config.t -> string -> Finding.t list
+
+(** Lint every [.ml] under the roots; findings come back sorted with
+    {!Finding.compare}. [config] defaults to {!Config.repo_default}. *)
+val run :
+  ?enabled:(string -> bool) ->
+  ?config:Config.t ->
+  string list ->
+  Finding.t list
+
+type baseline_result = {
+  fresh : Finding.t list;  (** findings not covered by the baseline *)
+  baselined : int;  (** findings suppressed by the baseline *)
+  stale : string list;  (** baseline entries that matched nothing *)
+}
+
+(** Baseline entries from a file: one {!Finding.baseline_key} per line,
+    ['#'] comments and blank lines skipped. *)
+val load_baseline : string -> string list
+
+val apply_baseline : string list -> Finding.t list -> baseline_result
+
+(** The sorted, deduplicated baseline representation of a finding set
+    (what [--update-baseline] writes). *)
+val baseline_of_findings : Finding.t list -> string list

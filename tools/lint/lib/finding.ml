@@ -1,0 +1,29 @@
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  msg : string;
+}
+
+let v ~file ~line ~col ~rule msg = { file; line; col; rule; msg }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.msg b.msg
+
+let to_string f =
+  Printf.sprintf "%s:%d:%d [%s] %s" f.file f.line f.col f.rule f.msg
+
+(* Baseline keys deliberately omit line/col so a committed baseline
+   survives unrelated edits that shift code up or down a file. *)
+let baseline_key f = Printf.sprintf "%s [%s] %s" f.file f.rule f.msg

@@ -1,0 +1,522 @@
+(* The rule set, implemented as one scoped traversal of the parsetree
+   (compiler-libs [Ast_iterator]). Rules are purely syntactic: no typing
+   pass, so each check is written to be conservative and every finding is
+   suppressible with [@nf.allow "rule"] at the offending expression, its
+   enclosing let-binding, or file-wide with [@@@nf.allow "rule"]. *)
+
+open Parsetree
+
+type meta = { id : string; summary : string }
+
+let catalog =
+  [
+    {
+      id = "determinism";
+      summary =
+        "no Random.self_init; no wall clock (Unix.gettimeofday, Sys.time) \
+         outside Profile/bench; no unordered Hashtbl.iter/fold/to_seq in \
+         library modules unless the result is sorted";
+    };
+    {
+      id = "float-compare";
+      summary =
+        "no polymorphic =/<>/compare/min/max on non-obviously-integer \
+         operands in lib/num and lib/fluid; use Float.compare, Int.min, ...";
+    };
+    {
+      id = "hot-alloc";
+      summary =
+        "functions marked [@nf.hot] may not allocate closures, tuples, \
+         list cells, records, array literals or stage partial applications";
+    };
+    {
+      id = "exn-swallow";
+      summary =
+        "no catch-all exception handler (with _ -> / with e ->) that \
+         neither re-raises nor fails";
+    };
+    {
+      id = "mli-missing";
+      summary = "every module under lib/ ships a .mli interface";
+    };
+  ]
+
+let rule_ids = List.map (fun m -> m.id) catalog
+
+type ctx = {
+  file : string;  (* normalized path, used in findings *)
+  config : Config.t;
+  enabled : string -> bool;
+  mutable findings : Finding.t list;
+  mutable allows : string list;  (* active [@nf.allow] scopes, flattened *)
+  mutable sorted_depth : int;  (* > 0 while visiting args of a sort call *)
+  mutable hot_depth : int;  (* > 0 while visiting a [@nf.hot] body *)
+}
+
+let make_ctx ?(enabled = fun _ -> true) ~config file =
+  {
+    file = Config.normalize file;
+    config;
+    enabled;
+    findings = [];
+    allows = [];
+    sorted_depth = 0;
+    hot_depth = 0;
+  }
+
+let allowed ctx rule =
+  List.mem rule ctx.allows || List.mem "*" ctx.allows
+
+let emit ctx ~(loc : Location.t) rule msg =
+  if ctx.enabled rule && not (allowed ctx rule) then begin
+    let p = loc.loc_start in
+    ctx.findings <-
+      Finding.v ~file:ctx.file ~line:p.pos_lnum ~col:(p.pos_cnum - p.pos_bol)
+        ~rule msg
+      :: ctx.findings
+  end
+
+(* --------------------------------------------------------------- *)
+(* Attribute handling: [@nf.allow "rule1 rule2"] / bare [@nf.allow]. *)
+
+let split_rules s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char ',')
+  |> List.filter (fun x -> x <> "")
+
+let allow_rules_of_attr (attr : attribute) =
+  if attr.attr_name.txt <> "nf.allow" then []
+  else
+    match attr.attr_payload with
+    | PStr
+        [
+          {
+            pstr_desc =
+              Pstr_eval
+                ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+            _;
+          };
+        ] ->
+      split_rules s
+    | PStr [] -> [ "*" ]  (* bare [@nf.allow]: allow every rule *)
+    | _ -> []
+
+let allow_rules_of_attrs attrs = List.concat_map allow_rules_of_attr attrs
+
+let is_hot_attr (attr : attribute) = attr.attr_name.txt = "nf.hot"
+
+(* --------------------------------------------------------------- *)
+(* Identifier helpers. *)
+
+let rec longident_to_string = function
+  | Longident.Lident s -> s
+  | Longident.Ldot (p, s) -> longident_to_string p ^ "." ^ s
+  | Longident.Lapply (a, b) ->
+    longident_to_string a ^ "(" ^ longident_to_string b ^ ")"
+
+let ident_of_expr e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> Some (longident_to_string txt)
+  | _ -> None
+
+let unqualify id =
+  match String.rindex_opt id '.' with
+  | None -> id
+  | Some i -> String.sub id (i + 1) (String.length id - i - 1)
+
+let wallclock_idents = [ "Unix.gettimeofday"; "Sys.time" ]
+
+let hashtbl_unordered_idents =
+  [
+    "Hashtbl.iter";
+    "Hashtbl.fold";
+    "Hashtbl.to_seq";
+    "Hashtbl.to_seq_keys";
+    "Hashtbl.to_seq_values";
+  ]
+
+let sort_idents =
+  [
+    "List.sort";
+    "List.stable_sort";
+    "List.fast_sort";
+    "List.sort_uniq";
+    "Array.sort";
+    "Array.stable_sort";
+  ]
+
+let poly_compare_idents =
+  [
+    "=";
+    "<>";
+    "compare";
+    "min";
+    "max";
+    "Stdlib.=";
+    "Stdlib.<>";
+    "Stdlib.compare";
+    "Stdlib.min";
+    "Stdlib.max";
+  ]
+
+(* Applications of these always produce an int, so comparing against the
+   result monomorphises the comparison to int. The tail of the list is
+   repo vocabulary: the Problem/Topology cardinality accessors. *)
+let int_valued_fns =
+  [
+    "Problem.n_links";
+    "Problem.n_flows";
+    "Problem.n_groups";
+    "Problem.flow_group";
+    "Problem.path_len";
+    "Topology.n_nodes";
+    "Topology.n_links";
+    "Array.length";
+    "List.length";
+    "String.length";
+    "Bytes.length";
+    "Hashtbl.length";
+    "Queue.length";
+    "Char.code";
+    "int_of_float";
+    "int_of_char";
+    "int_of_string";
+    "succ";
+    "pred";
+    "abs";
+    "+";
+    "-";
+    "*";
+    "/";
+    "mod";
+    "land";
+    "lor";
+    "lxor";
+    "lsl";
+    "lsr";
+    "asr";
+  ]
+
+(* Conservative: [true] only when the expression is syntactically
+   guaranteed not to be a float (so a polymorphic compare against it is
+   monomorphised away from float by the type checker). *)
+let obviously_non_float e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_integer _ | Pconst_char _ | Pconst_string _) -> true
+  | Pexp_construct ({ txt = Longident.Lident ("true" | "false" | "()"); _ }, None)
+    ->
+    true
+  | Pexp_apply (f, _) -> (
+    match ident_of_expr f with
+    | Some id -> List.mem id int_valued_fns
+    | None -> false)
+  | Pexp_constraint
+      (_, { ptyp_desc = Ptyp_constr ({ txt = Longident.Lident "int"; _ }, []); _ })
+    ->
+    true
+  | _ -> false
+
+(* --------------------------------------------------------------- *)
+(* exn-swallow helpers. *)
+
+let reraiser_idents =
+  [
+    "raise";
+    "raise_notrace";
+    "reraise";
+    "failwith";
+    "invalid_arg";
+    "exit";
+    "Stdlib.raise";
+    "Stdlib.raise_notrace";
+    "Stdlib.failwith";
+    "Stdlib.invalid_arg";
+    "Stdlib.exit";
+    "Printexc.raise_with_backtrace";
+  ]
+
+let expr_reraises e =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match ident_of_expr e with
+          | Some id when List.mem id reraiser_idents -> found := true
+          | _ -> ());
+          (match e.pexp_desc with
+          | Pexp_assert _ -> found := true
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it e;
+  !found
+
+(* [Some None]: catch-all wildcard; [Some (Some v)]: catch-all binding
+   the exception to [v]; [None]: not a catch-all. *)
+let rec catch_all_binder p =
+  match p.ppat_desc with
+  | Ppat_any -> Some None
+  | Ppat_var v -> Some (Some v.Asttypes.txt)
+  | Ppat_alias (p, v) -> (
+    match catch_all_binder p with
+    | Some _ -> Some (Some v.Asttypes.txt)
+    | None -> None)
+  | Ppat_or (a, b) -> (
+    match catch_all_binder a with
+    | Some _ as r -> r
+    | None -> catch_all_binder b)
+  | Ppat_constraint (p, _) -> catch_all_binder p
+  | _ -> None
+
+let expr_mentions_var name e =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt = Longident.Lident n; _ } when n = name ->
+            found := true
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it e;
+  !found
+
+let check_handler_cases ctx cases ~exception_only =
+  List.iter
+    (fun c ->
+      let binder =
+        if exception_only then
+          match c.pc_lhs.ppat_desc with
+          | Ppat_exception p -> catch_all_binder p
+          | _ -> None
+        else catch_all_binder c.pc_lhs
+      in
+      match binder with
+      | None -> ()
+      | Some name ->
+        (* A handler that re-raises, or that binds the exception and
+           actually consumes it (logs it, wraps it in [Error _], ...),
+           is not swallowing. *)
+        let consumes =
+          match name with
+          | Some v -> expr_mentions_var v c.pc_rhs
+          | None -> false
+        in
+        if not (consumes || expr_reraises c.pc_rhs) then
+          emit ctx ~loc:c.pc_lhs.ppat_loc "exn-swallow"
+            "catch-all exception handler swallows the exception; match \
+             specific exceptions, consume the exception value, or re-raise")
+    cases
+
+(* --------------------------------------------------------------- *)
+(* hot-alloc: per-node allocation check inside a [@nf.hot] body. *)
+
+let check_hot_node ctx e =
+  let bad msg = emit ctx ~loc:e.pexp_loc "hot-alloc" msg in
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ ->
+    bad "closure allocated inside a [@nf.hot] function"
+  | Pexp_tuple _ -> bad "tuple allocated inside a [@nf.hot] function"
+  | Pexp_construct ({ txt = Longident.Lident "::"; _ }, Some _) ->
+    bad "list cell allocated inside a [@nf.hot] function"
+  | Pexp_record _ -> bad "record allocated inside a [@nf.hot] function"
+  | Pexp_array _ -> bad "array literal allocated inside a [@nf.hot] function"
+  | Pexp_lazy _ -> bad "lazy block allocated inside a [@nf.hot] function"
+  | Pexp_apply ({ pexp_desc = Pexp_apply _; _ }, _) ->
+    bad
+      "staged application (likely partial application, which allocates a \
+       closure) inside a [@nf.hot] function"
+  | _ -> ()
+
+(* --------------------------------------------------------------- *)
+(* The traversal. *)
+
+let make_iterator ctx =
+  let super = Ast_iterator.default_iterator in
+  let with_allows attrs k =
+    match allow_rules_of_attrs attrs with
+    | [] -> k ()
+    | added ->
+      let saved = ctx.allows in
+      ctx.allows <- added @ saved;
+      Fun.protect ~finally:(fun () -> ctx.allows <- saved) k
+  in
+  let float_strict_here () = ctx.config.Config.float_strict ctx.file in
+  let expr self e =
+    with_allows e.pexp_attributes @@ fun () ->
+    if ctx.hot_depth > 0 then check_hot_node ctx e;
+    match e.pexp_desc with
+    | Pexp_ident _ -> (
+      (* A bare mention (not the head of an application we special-case
+         below): a polymorphic comparator passed as a function value, or a
+         nondeterminism source used point-free. *)
+      match ident_of_expr e with
+      | Some id when List.mem id poly_compare_idents && float_strict_here () ->
+        emit ctx ~loc:e.pexp_loc "float-compare"
+          (Printf.sprintf
+             "polymorphic %s passed as a function in a float-strict module; \
+              use Float.compare/Int.compare or a monomorphic wrapper"
+             (unqualify id))
+      | Some "Random.self_init" ->
+        emit ctx ~loc:e.pexp_loc "determinism"
+          "Random.self_init makes runs irreproducible; thread an Nf_util.Rng \
+           seeded from the experiment Ctx instead"
+      | Some id
+        when List.mem id wallclock_idents
+             && not (ctx.config.Config.wallclock_exempt ctx.file) ->
+        emit ctx ~loc:e.pexp_loc "determinism"
+          (Printf.sprintf
+             "%s reads the wall clock; outside Profile/bench use simulated \
+              time (Sim.now) or suppress with [@nf.allow \"determinism\"] \
+              if wall time is genuinely wanted"
+             id)
+      | Some id
+        when List.mem id hashtbl_unordered_idents
+             && ctx.config.Config.hashtbl_ordered ctx.file
+             && ctx.sorted_depth = 0 ->
+        emit ctx ~loc:e.pexp_loc "determinism"
+          (Printf.sprintf
+             "%s traverses in unspecified hash order; sort the result \
+              before it can reach Record/Report/Metrics output"
+             id)
+      | _ -> ())
+    | Pexp_apply (f, args) -> (
+      let visit_args () = List.iter (fun (_, a) -> self.Ast_iterator.expr self a) args in
+      match ident_of_expr f with
+      | Some id when List.mem id poly_compare_idents && float_strict_here () ->
+        let operands =
+          List.filter_map
+            (fun (l, a) -> if l = Asttypes.Nolabel then Some a else None)
+            args
+        in
+        (match operands with
+        | [ a; b ] when obviously_non_float a || obviously_non_float b -> ()
+        | _ ->
+          let hint =
+            match unqualify id with
+            | "=" -> "Float.equal/Int.equal"
+            | "<>" -> "not (Float.equal ...)/not (Int.equal ...)"
+            | "compare" -> "Float.compare/Int.compare"
+            | op -> Printf.sprintf "Float.%s/Int.%s" op op
+          in
+          emit ctx ~loc:e.pexp_loc "float-compare"
+            (Printf.sprintf
+               "polymorphic %s on operands not provably non-float; use %s \
+                (nan-safe, monomorphic)"
+               (unqualify id) hint));
+        (* Skip [f] itself (it would double-report as a bare mention). *)
+        visit_args ()
+      | Some id when List.mem id sort_idents ->
+        (* Unordered Hashtbl traversal feeding a sort is the sanctioned
+           idiom: the sort re-establishes a canonical order. *)
+        ctx.sorted_depth <- ctx.sorted_depth + 1;
+        Fun.protect
+          ~finally:(fun () -> ctx.sorted_depth <- ctx.sorted_depth - 1)
+          visit_args
+      | _ -> super.expr self e)
+    | Pexp_construct
+        ( { txt = Longident.Lident "::"; _ },
+          Some { pexp_desc = Pexp_tuple [ hd; tl ]; pexp_attributes = []; _ } )
+      ->
+      (* The [h :: t] sugar's argument tuple IS the cons cell, not a second
+         allocation: visit the components, skip the tuple node. *)
+      self.Ast_iterator.expr self hd;
+      self.Ast_iterator.expr self tl
+    | Pexp_try (_, cases) ->
+      check_handler_cases ctx cases ~exception_only:false;
+      super.expr self e
+    | Pexp_match (_, cases) ->
+      check_handler_cases ctx cases ~exception_only:true;
+      super.expr self e
+    | _ -> super.expr self e
+  in
+  let value_binding self vb =
+    with_allows vb.pvb_attributes @@ fun () ->
+    if List.exists is_hot_attr vb.pvb_attributes then begin
+      self.Ast_iterator.pat self vb.pvb_pat;
+      (* The outer curried parameter chain is the function head, not an
+         allocation; everything below it is the hot body. *)
+      let enter_hot body =
+        ctx.hot_depth <- ctx.hot_depth + 1;
+        Fun.protect
+          ~finally:(fun () -> ctx.hot_depth <- ctx.hot_depth - 1)
+          (fun () -> self.Ast_iterator.expr self body)
+      in
+      let rec strip e =
+        match e.pexp_desc with
+        | Pexp_fun (_, _, p, body) ->
+          self.Ast_iterator.pat self p;
+          strip body
+        | Pexp_newtype (_, body) -> strip body
+        | Pexp_function cases ->
+          List.iter
+            (fun c ->
+              self.Ast_iterator.pat self c.pc_lhs;
+              (match c.pc_guard with
+              | Some g -> enter_hot g
+              | None -> ());
+              enter_hot c.pc_rhs)
+            cases
+        | _ -> enter_hot e
+      in
+      strip vb.pvb_expr
+    end
+    else super.value_binding self vb
+  in
+  let structure self items =
+    (* A floating [@@@nf.allow "..."] scopes over the rest of its
+       structure (top level or nested module). *)
+    let saved = ctx.allows in
+    Fun.protect ~finally:(fun () -> ctx.allows <- saved) @@ fun () ->
+    List.iter
+      (fun item ->
+        (match item.pstr_desc with
+        | Pstr_attribute attr -> (
+          match allow_rules_of_attr attr with
+          | [] -> ()
+          | added -> ctx.allows <- added @ ctx.allows)
+        | _ -> ());
+        self.Ast_iterator.structure_item self item)
+      items
+  in
+  { super with expr; value_binding; structure }
+
+let file_level_allows (str : structure) =
+  List.concat_map
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_attribute attr -> allow_rules_of_attr attr
+      | _ -> [])
+    str
+
+let check_structure ctx (str : structure) =
+  let it = make_iterator ctx in
+  it.Ast_iterator.structure it str
+
+let findings ctx = List.rev ctx.findings
+
+let add_finding ctx f = ctx.findings <- f :: ctx.findings
+
+(* mli-missing is a file-level rule, checked by the driver; it honours
+   file-wide [@@@nf.allow] collected from the parsed structure. *)
+let check_mli ctx ~mli_exists (str : structure) =
+  if
+    ctx.config.Config.require_mli ctx.file
+    && (not mli_exists)
+    && ctx.enabled "mli-missing"
+  then begin
+    let allows = file_level_allows str in
+    if not (List.mem "mli-missing" allows || List.mem "*" allows) then
+      ctx.findings <-
+        Finding.v ~file:ctx.file ~line:1 ~col:0 ~rule:"mli-missing"
+          "library module has no .mli interface; add one (or \
+           [@@@nf.allow \"mli-missing\"] with a justification)"
+        :: ctx.findings
+  end

@@ -1,0 +1,36 @@
+(** The rule set, run as one scoped [Ast_iterator] traversal per file.
+
+    Rules are syntactic (no typing pass); every finding is suppressible
+    with [@nf.allow "rule"] on the offending expression or its enclosing
+    let-binding, or file-wide with [@@@nf.allow "rule"]. A bare
+    [@nf.allow] (no payload) suppresses every rule in its scope. *)
+
+type meta = { id : string; summary : string }
+
+(** One entry per rule, in display order. *)
+val catalog : meta list
+
+val rule_ids : string list
+
+(** Mutable per-file check state. [enabled] filters rules by id
+    (default: all). [file] is normalized with {!Config.normalize} and is
+    the path that appears in findings. *)
+type ctx
+
+val make_ctx : ?enabled:(string -> bool) -> config:Config.t -> string -> ctx
+
+(** Run every expression-level rule over a parsed implementation,
+    accumulating findings into the context. *)
+val check_structure : ctx -> Parsetree.structure -> unit
+
+(** Findings accumulated so far, in emission order. *)
+val findings : ctx -> Finding.t list
+
+(** Record an externally-produced finding (the driver uses this for
+    parse errors). *)
+val add_finding : ctx -> Finding.t -> unit
+
+(** File-level rule: the module must ship a [.mli] when the config
+    requires one. Appends to the context's findings; honours file-wide
+    [@@@nf.allow]. *)
+val check_mli : ctx -> mli_exists:bool -> Parsetree.structure -> unit

@@ -1,0 +1,115 @@
+(* nf_lint: the repo's static-analysis pass. See DESIGN.md "Static
+   analysis" for the rule catalog and suppression story.
+
+   Exit codes: 0 clean, 1 findings, 2 usage/IO error. *)
+
+module Driver = Nf_lint_rules.Driver
+module Finding = Nf_lint_rules.Finding
+module Rules = Nf_lint_rules.Rules
+
+let usage =
+  "nf_lint [options] PATH...\n\
+   Lint every .ml under the given files/directories.\n\n\
+   Options:"
+
+let () =
+  let baseline = ref "" in
+  let update_baseline = ref false in
+  let rules = ref "" in
+  let list_rules = ref false in
+  let quiet = ref false in
+  let roots = ref [] in
+  let spec =
+    [
+      ( "--baseline",
+        Arg.Set_string baseline,
+        "FILE suppress findings listed in FILE (one 'file [rule] message' \
+         per line, '#' comments)" );
+      ( "--update-baseline",
+        Arg.Set update_baseline,
+        " rewrite the --baseline file from the current findings and exit 0" );
+      ( "--rules",
+        Arg.Set_string rules,
+        "LIST comma-separated rule ids to enable (default: all)" );
+      ("--list-rules", Arg.Set list_rules, " print the rule catalog and exit");
+      ("--quiet", Arg.Set quiet, " suppress the summary line on stderr");
+      ("-q", Arg.Set quiet, " same as --quiet");
+    ]
+  in
+  (try Arg.parse spec (fun r -> roots := r :: !roots) usage
+   with Arg.Bad msg ->
+     prerr_string msg;
+     exit 2);
+  if !list_rules then begin
+    List.iter
+      (fun m -> Printf.printf "%-14s %s\n" m.Rules.id m.Rules.summary)
+      Rules.catalog;
+    exit 0
+  end;
+  let roots = List.rev !roots in
+  if roots = [] then begin
+    prerr_endline "nf_lint: no paths given (try: nf_lint lib bin bench)";
+    exit 2
+  end;
+  let enabled =
+    if !rules = "" then fun _ -> true
+    else begin
+      let ids =
+        String.split_on_char ',' !rules |> List.filter (fun s -> s <> "")
+      in
+      List.iter
+        (fun id ->
+          if not (List.mem id Rules.rule_ids) then begin
+            Printf.eprintf "nf_lint: unknown rule %S (see --list-rules)\n" id;
+            exit 2
+          end)
+        ids;
+      fun r -> List.mem r ids || r = "parse-error"
+    end
+  in
+  match Driver.run ~enabled roots with
+  | exception Sys_error msg ->
+    Printf.eprintf "nf_lint: %s\n" msg;
+    exit 2
+  | findings ->
+    if !update_baseline then begin
+      if !baseline = "" then begin
+        prerr_endline "nf_lint: --update-baseline requires --baseline FILE";
+        exit 2
+      end;
+      let oc = open_out !baseline in
+      output_string oc
+        "# nf_lint baseline: pre-existing findings tolerated by CI.\n\
+         # One 'file [rule] message' per line; regenerate with\n\
+         #   dune exec tools/lint/nf_lint.exe -- --baseline \
+         lint-baseline.txt --update-baseline <paths>\n";
+      List.iter
+        (fun key -> output_string oc (key ^ "\n"))
+        (Driver.baseline_of_findings findings);
+      close_out oc;
+      Printf.eprintf "nf_lint: wrote %d baseline entr%s to %s\n"
+        (List.length findings)
+        (if List.length findings = 1 then "y" else "ies")
+        !baseline;
+      exit 0
+    end;
+    let result =
+      if !baseline = "" then
+        { Driver.fresh = findings; baselined = 0; stale = [] }
+      else
+        match Driver.load_baseline !baseline with
+        | entries -> Driver.apply_baseline entries findings
+        | exception Sys_error msg ->
+          Printf.eprintf "nf_lint: %s\n" msg;
+          exit 2
+    in
+    List.iter (fun f -> print_endline (Finding.to_string f)) result.fresh;
+    List.iter
+      (fun e -> Printf.eprintf "nf_lint: stale baseline entry: %s\n" e)
+      result.stale;
+    if not !quiet then
+      Printf.eprintf "nf_lint: %d finding(s)%s\n" (List.length result.fresh)
+        (if result.baselined > 0 then
+           Printf.sprintf " (%d baselined)" result.baselined
+         else "");
+    exit (if result.fresh = [] then 0 else 1)
