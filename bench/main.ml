@@ -211,27 +211,33 @@ let engine_events_per_sec ~seconds =
   done;
   float_of_int !count /. (Unix.gettimeofday () -. t0)
 
-(* A fixed k=4 fat tree (16 servers) carrying 256 random ECMP-routed
-   proportional-fair flows; iterate Xwi_core.step in place. *)
-let xwi_iters_per_sec ~seconds =
-  let ft = Nf_topo.Builders.fat_tree ~k:4 () in
-  let topology = ft.Nf_topo.Builders.ft_topo in
+(* A k-ary fat tree carrying [n_flows] random ECMP-routed
+   proportional-fair flows; iterate Xwi_core.step in place. Three
+   problem sizes track how the sparse core scales:
+     @small  k=4,   64 flows  (~16 servers)
+     @paper  k=4,  256 flows  — the scenario benchmarked since the
+             BENCH_73b7979.json baseline (21,729 iters/sec)
+     @10x    k=8, 2560 flows  (~128 servers, 10x the working set) *)
+let xwi_iters_per_sec ~k ~n_flows ~seconds =
+  let ft = Nf_topo.Builders.fat_tree ~k () in
   let rng = Nf_util.Rng.create ~seed:7 in
   let pairs =
     Nf_workload.Traffic.random_pairs rng ~hosts:ft.Nf_topo.Builders.ft_servers
-      ~n:256
+      ~n:n_flows
   in
+  let router = Nf_topo.Routing.router ft.Nf_topo.Builders.ft_topo in
   let paths =
     Array.mapi
       (fun i { Nf_workload.Traffic.src; dst } ->
         Array.of_list
-          (Nf_topo.Routing.ecmp_path topology ~src ~dst ~hash:(i * 2654435761)))
+          (Nf_topo.Routing.ecmp_path_fast router ~src ~dst
+             ~hash:(i * 2654435761)))
       pairs
   in
   let caps =
     Array.map
       (fun l -> l.Nf_topo.Topology.capacity)
-      (Nf_topo.Topology.links topology)
+      (Nf_topo.Topology.links ft.Nf_topo.Builders.ft_topo)
   in
   let problem =
     Nf_num.Problem.create ~caps
@@ -260,7 +266,12 @@ let run_kernels () =
   let kernels =
     [
       ("engine_events_per_sec", engine_events_per_sec);
-      ("xwi_iters_per_sec", xwi_iters_per_sec);
+      ("xwi_iters_per_sec@small", xwi_iters_per_sec ~k:4 ~n_flows:64);
+      ("xwi_iters_per_sec@paper", xwi_iters_per_sec ~k:4 ~n_flows:256);
+      ("xwi_iters_per_sec@10x", xwi_iters_per_sec ~k:8 ~n_flows:2560);
+      (* continuity alias: the series tracked across BENCH_<rev>.json
+         revisions; identical scenario to @paper *)
+      ("xwi_iters_per_sec", xwi_iters_per_sec ~k:4 ~n_flows:256);
     ]
   in
   Format.printf "@[<v>Raw kernels (%.1f s budget each):@," seconds;

@@ -47,8 +47,8 @@ let depth_sample_mask = 0xFF
 let[@nf.hot] schedule_cat t ~cat ~at action =
   if at < t.clock then
     invalid_arg
-      (Printf.sprintf "Sim.schedule: event in the past (at=%g, now=%g)" at
-         t.clock);
+      ((Printf.sprintf "Sim.schedule: event in the past (at=%g, now=%g)" at
+          t.clock) [@nf.allow "hot-alloc"]);
   Fheap.push t.queue ~key:at ~aux:cat action;
   let s = t.scheduled + 1 in
   t.scheduled <- s;

@@ -126,4 +126,14 @@ let () =
         (Exp_ablation.run
            ~seed:(Ctx.rng_seed ctx ~default:4)
            ~n_events:(Ctx.scaled ctx ~floor:5 25)
+           ()));
+  register ~name:"scale"
+    ~description:"large-fabric convergence: k=16 fat tree, 100k+ ECMP flows"
+    (fun ctx ->
+      Exp_scale.report
+        (Exp_scale.run
+           ~seed:(Ctx.rng_seed ctx ~default:29)
+           ~flows_leaf_spine:(Ctx.scaled ctx ~floor:1_000 20_000)
+           ~flows_fat_tree:(Ctx.scaled ctx ~floor:2_000 100_000)
+           ~iterations:(Ctx.scaled ctx ~floor:15 40)
            ()))

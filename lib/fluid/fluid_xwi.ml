@@ -5,9 +5,9 @@ module Trace = Nf_util.Trace
 let default_interval = 30e-6
 
 let make_with_prices ?(params = Xwi_core.default_params)
-    ?(interval = default_interval) ?trace problem =
+    ?(interval = default_interval) ?trace ?pool problem =
   let problem = ref problem in
-  let state = ref (Xwi_core.init !problem) in
+  let state = ref (Xwi_core.init ?pool !problem) in
   let n_links = Problem.n_links !problem in
   let iter = ref 0 in
   let step () =
@@ -26,7 +26,7 @@ let make_with_prices ?(params = Xwi_core.default_params)
       invalid_arg "Fluid_xwi.rebind: link count changed";
     let prices = !state.Xwi_core.prices in
     problem := p;
-    state := Xwi_core.init_with_prices p ~prices
+    state := Xwi_core.init_with_prices ?pool p ~prices
   in
   let scheme =
     {
@@ -41,5 +41,5 @@ let make_with_prices ?(params = Xwi_core.default_params)
   in
   (scheme, fun () -> Array.copy !state.Xwi_core.prices)
 
-let make ?params ?interval ?trace problem =
-  fst (make_with_prices ?params ?interval ?trace problem)
+let make ?params ?interval ?trace ?pool problem =
+  fst (make_with_prices ?params ?interval ?trace ?pool problem)

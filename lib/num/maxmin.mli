@@ -47,6 +47,27 @@ val solve_problem_into :
   workspace -> Problem.t -> weights:float array -> rates:float array -> unit
 (** {!solve_into} reading capacities and paths from a {!Problem.t}. *)
 
+type sparse_workspace
+(** Scratch state for {!solve_sparse}, sized for one {!Incidence.t}.
+    Reusable across solves; not thread-safe. *)
+
+val sparse_workspace : Incidence.t -> sparse_workspace
+
+val solve_sparse :
+  sparse_workspace ->
+  Incidence.t ->
+  weights:Incidence.vec ->
+  rates:Incidence.vec ->
+  unit
+(** CSR/CSC-driven water-filling: same semantics as {!solve_into} but the
+    freeze scan is link-major over the CSC columns of the round's
+    saturated links, so work is O(rounds · n_links + nnz) instead of
+    O(rounds · nnz). Rates agree with {!solve} to floating-point rounding
+    (the active-weight decrements accumulate in a different order), not
+    bitwise; capacities are read from the incidence's [caps] vec (callers
+    mutating {!Problem.caps} must {!Incidence.sync_caps} first). Inputs
+    are assumed validated (strictly positive weights and capacities). *)
+
 val is_maxmin : ?tol:float -> caps:float array -> paths:int array array ->
   weights:float array -> float array -> bool
 (** Check (up to relative tolerance [tol], default 1e-6) that an allocation

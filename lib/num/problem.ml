@@ -9,6 +9,7 @@ type t = {
   members : int array array;  (* group -> flow ids *)
   utilities : Utility.t array;  (* group -> utility *)
   flows_on_link : int array array;  (* link -> flow ids *)
+  incidence : Incidence.t;
 }
 
 let create ~caps ~groups =
@@ -64,13 +65,19 @@ let create ~caps ~groups =
         path)
     flow_paths;
   let flows_on_link = Array.map (fun l -> Array.of_list (List.rev l)) on_link in
+  let capacities = Array.copy caps in
+  let incidence =
+    Incidence.create ~caps:capacities ~paths:flow_paths
+      ~group_of_flow:groups_of_flow ~n_groups:(Array.length members)
+  in
   {
-    capacities = Array.copy caps;
+    capacities;
     flow_paths;
     groups_of_flow;
     members;
     utilities;
     flows_on_link;
+    incidence;
   }
 
 let n_links t = Array.length t.capacities
@@ -95,6 +102,8 @@ let link_flows t l = t.flows_on_link.(l)
 
 let paths t = t.flow_paths
 
+let incidence t = t.incidence
+
 let group_rate t ~rates g =
   let members = t.members.(g) in
   let acc = ref 0. in
@@ -103,9 +112,21 @@ let group_rate t ~rates g =
   done;
   !acc
 
-let group_rates_into t ~rates out =
+(* The [_into] sweeps and [path_price] run once per solver iteration, so
+   they walk the flat CSR index arrays of [t.incidence] instead of the
+   array-of-arrays path structure. Accumulation order matches the legacy
+   per-flow walks exactly (same operands, same order: bit-identical). *)
+
+let[@nf.hot] group_rates_into t ~rates out =
+  let inc = t.incidence in
+  let grp_ptr = inc.Incidence.grp_ptr and grp_flows = inc.Incidence.grp_flows in
   for g = 0 to n_groups t - 1 do
-    out.(g) <- group_rate t ~rates g
+    let stop = Array.unsafe_get grp_ptr (g + 1) in
+    let acc = ref 0. in
+    for k = Array.unsafe_get grp_ptr g to stop - 1 do
+      acc := !acc +. Array.unsafe_get rates (Array.unsafe_get grp_flows k)
+    done;
+    Array.unsafe_set out g !acc
   done
 
 let group_rates t ~rates =
@@ -113,15 +134,16 @@ let group_rates t ~rates =
   group_rates_into t ~rates out;
   out
 
-let link_loads_into t ~rates loads =
+let[@nf.hot] link_loads_into t ~rates loads =
   Array.fill loads 0 (Array.length loads) 0.;
-  let fp = t.flow_paths in
-  for i = 0 to Array.length fp - 1 do
-    let path = fp.(i) in
-    let x = rates.(i) in
-    for k = 0 to Array.length path - 1 do
-      let lid = path.(k) in
-      loads.(lid) <- loads.(lid) +. x
+  let inc = t.incidence in
+  let row_ptr = inc.Incidence.row_ptr and row_cols = inc.Incidence.row_cols in
+  for i = 0 to n_flows t - 1 do
+    let x = Array.unsafe_get rates i in
+    let stop = Array.unsafe_get row_ptr (i + 1) in
+    for k = Array.unsafe_get row_ptr i to stop - 1 do
+      let l = Array.unsafe_get row_cols k in
+      Array.unsafe_set loads l (Array.unsafe_get loads l +. x)
     done
   done
 
@@ -130,8 +152,15 @@ let link_loads t ~rates =
   link_loads_into t ~rates loads;
   loads
 
-let path_price t ~prices i =
-  Array.fold_left (fun acc lid -> acc +. prices.(lid)) 0. t.flow_paths.(i)
+let[@nf.hot] path_price t ~prices i =
+  let inc = t.incidence in
+  let row_ptr = inc.Incidence.row_ptr and row_cols = inc.Incidence.row_cols in
+  let stop = Array.unsafe_get row_ptr (i + 1) in
+  let acc = ref 0. in
+  for k = Array.unsafe_get row_ptr i to stop - 1 do
+    acc := !acc +. Array.unsafe_get prices (Array.unsafe_get row_cols k)
+  done;
+  !acc
 
 let is_single_path t =
   Array.for_all (fun m -> Array.length m = 1) t.members

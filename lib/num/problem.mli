@@ -54,6 +54,12 @@ val paths : t -> int array array
     Shared, not copied: callers must treat it as read-only. Exists so
     per-iteration solvers can avoid rebuilding the routing structure. *)
 
+val incidence : t -> Incidence.t
+(** The sparse CSR/CSC index structure, built once at {!create}. Shared,
+    read-only for callers. Kernels that cache it across iterations must
+    call {!Incidence.sync_caps} with {!caps} each step to pick up dynamic
+    capacity changes. *)
+
 val group_rate : t -> rates:float array -> int -> float
 (** [y_g = Σ_{i ∈ g} rates.(i)]. *)
 

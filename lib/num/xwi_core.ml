@@ -27,9 +27,12 @@ let trace_iter tr iter =
     Trace.emit tr Trace.XwiIter ~subject:0 ~time:(float_of_int iter)
       (float_of_int iter)
 
-(* Per-state scratch arrays: one allocation at [init], zero per [step].
-   Sized for the state's problem; abstract in the interface so states can
-   only come from the init functions. *)
+(* Per-state scratch: one allocation at [init], zero per [step]. The
+   [v_*] fields are the unboxed float64 working set of the sparse step
+   pipeline (see DESIGN.md "Sparse NUM core"); the [b_*] float arrays
+   serve the fixpoint loop snapshots and the exported legacy-shaped
+   entry points. Abstract in the interface so states can only come from
+   the init functions. *)
 type buffers = {
   b_loads : float array;  (* n_links *)
   b_old_prices : float array;  (* n_links; fixpoint-loop snapshot *)
@@ -37,13 +40,25 @@ type buffers = {
   b_old_rates : float array;  (* n_flows; fixpoint-loop snapshot *)
   b_group_rates : float array;  (* n_groups *)
   b_group_marginal : float array;  (* n_groups *)
-  b_maxmin : Maxmin.workspace;
+  (* sparse working set *)
+  v_prices : Incidence.vec;  (* n_links *)
+  v_rates : Incidence.vec;  (* n_flows; prev rates in, max-min rates out *)
+  v_weights : Incidence.vec;  (* n_flows *)
+  v_path_price : Incidence.vec;  (* n_flows; computed once per step *)
+  v_loads : Incidence.vec;  (* n_links *)
+  v_residual : Incidence.vec;  (* n_flows *)
+  v_group_rates : Incidence.vec;  (* n_groups *)
+  v_group_marginal : Incidence.vec;  (* n_groups *)
+  v_inv_len : Incidence.vec;  (* n_flows; 1 / |L(i)|, fixed per problem *)
+  b_utils : Utility.t array;  (* n_groups; group utilities, flat copy *)
+  b_maxmin_sparse : Maxmin.sparse_workspace;
 }
 
 type state = {
   prices : float array;
   mutable rates : float array;
   mutable weights : float array;
+  mutable pool : Nf_util.Shard.t option;
   buffers : buffers;
 }
 
@@ -58,12 +73,36 @@ let make_buffers problem =
     b_old_rates = Array.make n_flows 0.;
     b_group_rates = Array.make n_groups 0.;
     b_group_marginal = Array.make n_groups 0.;
-    b_maxmin = Maxmin.workspace ~n_links ~n_flows;
+    v_prices = Incidence.vec n_links;
+    v_rates = Incidence.vec n_flows;
+    v_weights = Incidence.vec n_flows;
+    v_path_price = Incidence.vec n_flows;
+    v_loads = Incidence.vec n_links;
+    v_residual = Incidence.vec n_flows;
+    v_group_rates = Incidence.vec n_groups;
+    v_group_marginal = Incidence.vec n_groups;
+    v_inv_len =
+      (let v = Incidence.vec n_flows in
+       for i = 0 to n_flows - 1 do
+         Bigarray.Array1.set v i (1. /. float_of_int (Problem.path_len problem i))
+       done;
+       v);
+    b_utils = Array.init n_groups (Problem.group_utility problem);
+    b_maxmin_sparse = Maxmin.sparse_workspace (Problem.incidence problem);
   }
 
+(* Equal-weight max-min via the sparse solver: the legacy flow-major scan
+   is O(rounds * nnz), which at 100k+ flows turns initialization into the
+   dominant cost. *)
 let equal_weight_rates problem =
-  let weights = Array.make (Problem.n_flows problem) 1. in
-  (Maxmin.solve_problem problem ~weights).Maxmin.rates
+  let inc = Problem.incidence problem in
+  Incidence.sync_caps inc (Problem.caps problem);
+  let n_flows = Problem.n_flows problem in
+  let weights = Incidence.vec n_flows in
+  Incidence.vec_fill weights 1.;
+  let rates = Incidence.vec n_flows in
+  Maxmin.solve_sparse (Maxmin.sparse_workspace inc) inc ~weights ~rates;
+  Incidence.array_of_vec rates
 
 let seed_prices problem ~rates =
   (* p_l = max over flows on l of U'_g(y_g) / |L(i)|: the price each link
@@ -196,17 +235,185 @@ let price_update problem params ~prices ~rates =
   price_update_into problem params (make_buffers problem) ~prices:out ~rates;
   out
 
-let init problem =
+(* ------------------------------------------------------------------ *)
+(* Sparse step pipeline. Same math as the legacy entry points above, but
+   every sweep is a tight loop over the CSR/CSC index arrays of the
+   problem's [Incidence.t] with the working set in unboxed float64 vecs,
+   and the path prices are computed exactly once per step: the prices do
+   not change between the Eq. 7 weight computation and the Eq. 9 residual
+   computation, so both read [v_path_price]. Accumulation orders match
+   the legacy code operand for operand; only the water-filling freeze
+   order differs (see [Maxmin.solve_sparse]). *)
+
+let[@nf.hot] flow_weights_sparse (utils : Utility.t array) (inc : Incidence.t)
+    ~(path_prices : Incidence.vec) ~(prev_rates : Incidence.vec)
+    ~(out : Incidence.vec) =
+  if inc.Incidence.singleton then
+    (* All groups are singletons, and flows are numbered group-major, so
+       flow [i] is exactly group [i]: skip the group indirection. *)
+    for i = 0 to inc.Incidence.n_flows - 1 do
+      let u = Array.unsafe_get utils i in
+      let w =
+        Utility.rate_from_price u (Bigarray.Array1.unsafe_get path_prices i)
+      in
+      Bigarray.Array1.unsafe_set out i (Float.max w 1e-30)
+    done
+  else begin
+    let grp_ptr = inc.Incidence.grp_ptr
+    and grp_flows = inc.Incidence.grp_flows in
+    for g = 0 to inc.Incidence.n_groups - 1 do
+      let start = Array.unsafe_get grp_ptr g in
+      let stop = Array.unsafe_get grp_ptr (g + 1) in
+      let u = Array.unsafe_get utils g in
+      if stop - start = 1 then begin
+        let i = Array.unsafe_get grp_flows start in
+        let w =
+          Utility.rate_from_price u (Bigarray.Array1.unsafe_get path_prices i)
+        in
+        Bigarray.Array1.unsafe_set out i (Float.max w 1e-30)
+      end
+      else begin
+        (* §6.3: each sub-flow computes the group-level weight from its
+           own path price, then scales it by its share of the group
+           throughput (tiny floor so idle sub-flows keep probing). *)
+        let y = ref 0. in
+        for k = start to stop - 1 do
+          y :=
+            !y
+            +. Bigarray.Array1.unsafe_get prev_rates (Array.unsafe_get grp_flows k)
+        done;
+        let y = !y in
+        let n = float_of_int (stop - start) in
+        for k = start to stop - 1 do
+          let i = Array.unsafe_get grp_flows k in
+          let total =
+            Utility.rate_from_price u (Bigarray.Array1.unsafe_get path_prices i)
+          in
+          let share =
+            if y > 1e-12 then Bigarray.Array1.unsafe_get prev_rates i /. y
+            else 1. /. n
+          in
+          Bigarray.Array1.unsafe_set out i
+            (Float.max (total *. Float.max share (1e-8 /. n)) 1e-30)
+        done
+      end
+    done
+  end
+
+(* Eq. 9 residuals per flow: marginal utility of the flow's group at the
+   fresh rates, minus the (pre-update) path price, normalized by path
+   length. *)
+let[@nf.hot] residuals_sparse (inc : Incidence.t) bufs =
+  let rates = bufs.v_rates
+  and group_rates = bufs.v_group_rates
+  and group_marginal = bufs.v_group_marginal
+  and path_prices = bufs.v_path_price
+  and residual = bufs.v_residual
+  and utils = bufs.b_utils
+  and inv_len = bufs.v_inv_len in
+  Incidence.group_rates_into inc ~rates ~out:group_rates;
+  for g = 0 to inc.Incidence.n_groups - 1 do
+    let u = Array.unsafe_get utils g in
+    Bigarray.Array1.unsafe_set group_marginal g
+      (u.Utility.deriv (Float.max (Bigarray.Array1.unsafe_get group_rates g) 1e-12))
+  done;
+  let group_of_flow = inc.Incidence.group_of_flow in
+  (* [* inv_len] instead of the legacy [/ len]: up to an ulp apart when
+     the path length is not a power of two, well inside the oracle
+     tolerance, and it keeps a division off the per-flow path. *)
+  for i = 0 to inc.Incidence.n_flows - 1 do
+    let g = Array.unsafe_get group_of_flow i in
+    Bigarray.Array1.unsafe_set residual i
+      ((Bigarray.Array1.unsafe_get group_marginal g
+       -. Bigarray.Array1.unsafe_get path_prices i)
+      *. Bigarray.Array1.unsafe_get inv_len i)
+  done
+
+(* Eqs. 9-11 for links [lo, hi): the per-link work reads only flow-level
+   inputs ([v_rates], [v_residual], [v_loads]) and writes only
+   [v_prices.(l)], so results are independent of how the range is
+   chunked — the property the [Shard]-parallel dispatch depends on for
+   [-j N] byte-identity. *)
+let[@nf.hot] price_links_range params (inc : Incidence.t) bufs lo hi =
+  let col_ptr = inc.Incidence.col_ptr
+  and col_rows = inc.Incidence.col_rows
+  and caps = inc.Incidence.caps in
+  let rates = bufs.v_rates
+  and residual = bufs.v_residual
+  and loads = bufs.v_loads
+  and prices = bufs.v_prices in
+  for l = lo to hi - 1 do
+    let start = Array.unsafe_get col_ptr l in
+    let stop = Array.unsafe_get col_ptr (l + 1) in
+    (* Sub-flows carrying negligible traffic (relative to the average
+       flow here) contribute no residuals at the switch; excluding them
+       also keeps an optimally-unused sub-flow from dragging the price
+       below the fixed point. *)
+    let n_here = float_of_int (stop - start) in
+    let load = Bigarray.Array1.unsafe_get loads l in
+    let negligible = 1e-3 *. load in
+    let min_res =
+      match params.residual_agg with
+      | Agg_min ->
+        let acc = ref infinity in
+        for k = start to stop - 1 do
+          let i = Array.unsafe_get col_rows k in
+          if Bigarray.Array1.unsafe_get rates i *. n_here >= negligible then
+            acc := Float.min !acc (Bigarray.Array1.unsafe_get residual i)
+        done;
+        !acc
+      | Agg_mean ->
+        let sum = ref 0. and count = ref 0 in
+        for k = start to stop - 1 do
+          let i = Array.unsafe_get col_rows k in
+          if Bigarray.Array1.unsafe_get rates i *. n_here >= negligible
+          then begin
+            sum := !sum +. Bigarray.Array1.unsafe_get residual i;
+            incr count
+          end
+        done;
+        if !count = 0 then infinity else !sum /. float_of_int !count
+    in
+    let p_old = Bigarray.Array1.unsafe_get prices l in
+    let utilization =
+      Nf_util.Fcmp.clamp ~lo:0. ~hi:1.
+        (load /. Bigarray.Array1.unsafe_get caps l)
+    in
+    let p_new =
+      if Float.is_finite min_res then
+        Float.max 0.
+          (p_old +. min_res -. (params.eta *. (1. -. utilization) *. p_old))
+      else Float.max 0. (p_old -. (params.eta *. (1. -. utilization) *. p_old))
+    in
+    Bigarray.Array1.unsafe_set prices l
+      ((params.beta *. p_old) +. ((1. -. params.beta) *. p_new))
+  done
+
+(* Not [@nf.hot]: the sharded dispatch allocates one closure per call,
+   which is deliberate — the tight loops above are the hot bodies. *)
+let price_update_sparse problem params state =
+  let inc = Problem.incidence problem in
+  let bufs = state.buffers in
+  Incidence.link_loads_into inc ~rates:bufs.v_rates ~out:bufs.v_loads;
+  residuals_sparse inc bufs;
+  match state.pool with
+  | None -> price_links_range params inc bufs 0 inc.Incidence.n_links
+  | Some pool ->
+    Nf_util.Shard.run pool ~n:inc.Incidence.n_links (fun lo hi ->
+        price_links_range params inc bufs lo hi)
+
+let init ?pool problem =
   let rates = equal_weight_rates problem in
   let prices = seed_prices problem ~rates in
   {
     prices;
     rates;
     weights = Array.make (Problem.n_flows problem) 1.;
+    pool;
     buffers = make_buffers problem;
   }
 
-let init_with_prices problem ~prices =
+let init_with_prices ?pool problem ~prices =
   if Array.length prices <> Problem.n_links problem then
     invalid_arg "Xwi_core.init_with_prices: prices length";
   let rates = equal_weight_rates problem in
@@ -215,25 +422,45 @@ let init_with_prices problem ~prices =
       prices = Array.copy prices;
       rates;
       weights = Array.make (Problem.n_flows problem) 1.;
+      pool;
       buffers = make_buffers problem;
     }
   in
   flow_weights_into problem ~prices:state.prices ~prev_rates:state.rates
     ~out:state.weights;
-  Maxmin.solve_problem_into state.buffers.b_maxmin problem
-    ~weights:state.weights ~rates:state.rates;
+  let bufs = state.buffers in
+  let inc = Problem.incidence problem in
+  Incidence.sync_caps inc (Problem.caps problem);
+  Incidence.vec_of_array_into state.weights bufs.v_weights;
+  Maxmin.solve_sparse bufs.b_maxmin_sparse inc ~weights:bufs.v_weights
+    ~rates:bufs.v_rates;
+  Incidence.vec_to_array bufs.v_rates state.rates;
   state
 
-(* One iteration, allocation-free: weights into [state.weights], max-min
-   rates into [state.rates] (prev rates are consumed by the weight
-   computation before the solve overwrites them), prices in place. *)
-let[@nf.hot] step problem params state =
-  flow_weights_into problem ~prices:state.prices ~prev_rates:state.rates
-    ~out:state.weights;
-  Maxmin.solve_problem_into state.buffers.b_maxmin problem
-    ~weights:state.weights ~rates:state.rates;
-  price_update_into problem params state.buffers ~prices:state.prices
-    ~rates:state.rates
+let set_pool state pool = state.pool <- pool
+
+(* One iteration over the sparse working set: load the mirrors into the
+   vecs, compute path prices once, weights, max-min rates, the (possibly
+   domain-sharded) price update, then store the vecs back into the public
+   mirror arrays — which are updated in place, so live views (e.g.
+   [Fluid_xwi.rates_view]) stay valid. Steady-state stepping allocates
+   nothing beyond the sharding dispatch closure. *)
+let step problem params state =
+  let inc = Problem.incidence problem in
+  let bufs = state.buffers in
+  (* Dynamic experiments mutate [Problem.caps] between iterations. *)
+  Incidence.sync_caps inc (Problem.caps problem);
+  Incidence.vec_of_array_into state.prices bufs.v_prices;
+  Incidence.vec_of_array_into state.rates bufs.v_rates;
+  Incidence.path_prices_into inc ~prices:bufs.v_prices ~out:bufs.v_path_price;
+  flow_weights_sparse bufs.b_utils inc ~path_prices:bufs.v_path_price
+    ~prev_rates:bufs.v_rates ~out:bufs.v_weights;
+  Maxmin.solve_sparse bufs.b_maxmin_sparse inc ~weights:bufs.v_weights
+    ~rates:bufs.v_rates;
+  price_update_sparse problem params state;
+  Incidence.vec_to_array bufs.v_prices state.prices;
+  Incidence.vec_to_array bufs.v_rates state.rates;
+  Incidence.vec_to_array bufs.v_weights state.weights
 
 type run = { iterations : int; converged : bool }
 

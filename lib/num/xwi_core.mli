@@ -36,17 +36,25 @@ type state = {
   prices : float array;  (** per link *)
   mutable rates : float array;  (** per flow; last max-min allocation *)
   mutable weights : float array;  (** per flow; last Eq. 7 weights *)
+  mutable pool : Nf_util.Shard.t option;
+      (** when set, {!step}'s per-link price update is sharded across the
+          pool's domains; results are byte-identical for every job count *)
   buffers : buffers;
 }
 
-val init : Problem.t -> state
+val init : ?pool:Nf_util.Shard.t -> Problem.t -> state
 (** Initial state: prices seeded from the marginal utilities at the
     equal-weight max-min allocation (so the first weight computation is
     well-scaled), rates at that allocation. *)
 
-val init_with_prices : Problem.t -> prices:float array -> state
+val init_with_prices : ?pool:Nf_util.Shard.t -> Problem.t -> prices:float array -> state
 (** Start from given prices (e.g. carried over across a flow-arrival event
     in dynamic scenarios); rates start at the induced allocation. *)
+
+val set_pool : state -> Nf_util.Shard.t option -> unit
+(** Attach or detach a domain pool for the sharded price update. The pool
+    is borrowed: the caller owns its lifetime and must not {!Nf_util.Shard.stop}
+    it while the state is stepping. *)
 
 val flow_weights : Problem.t -> prices:float array -> prev_rates:float array -> float array
 (** Eq. 7 plus the §6.3 multipath split; all weights strictly positive. *)
@@ -64,9 +72,12 @@ val price_update : Problem.t -> params -> prices:float array -> rates:float arra
 (** Eqs. 9–11: one synchronized price update for all links. *)
 
 val step : Problem.t -> params -> state -> unit
-(** One full iteration: weights, max-min rates, price update. Everything
-    is written in place into the state's arrays and scratch buffers —
-    steady-state stepping performs no heap allocation. *)
+(** One full iteration over the sparse CSR/CSC working set: path prices
+    (computed once), Eq. 7 weights, max-min rates, Eqs. 9–11 price
+    update. Everything is written in place into the state's arrays and
+    scratch buffers — steady-state stepping performs no heap allocation
+    beyond the sharding dispatch. Capacity changes made through
+    {!Problem.caps} are picked up at the start of each step. *)
 
 type run = { iterations : int; converged : bool }
 

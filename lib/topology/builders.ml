@@ -47,6 +47,9 @@ let leaf_spine ?(server_capacity = gbps 10.) ?(fabric_capacity = gbps 40.)
 let paper_leaf_spine () =
   leaf_spine ~n_leaves:8 ~n_spines:4 ~servers_per_leaf:16 ()
 
+let leaf_spine_large () =
+  leaf_spine ~n_leaves:32 ~n_spines:16 ~servers_per_leaf:32 ()
+
 type fat_tree = {
   ft_topo : Topology.t;
   ft_servers : int array;
@@ -98,6 +101,10 @@ let fat_tree ?(link_capacity = gbps 10.) ?(link_delay = usec 2.) ~k () =
     done
   done;
   { ft_topo = Topology.Builder.finish b; ft_servers; ft_edges; ft_aggs; ft_cores }
+
+let fat_tree_k16 () = fat_tree ~k:16 ()
+
+let fat_tree_k32 () = fat_tree ~k:32 ()
 
 type single_bottleneck = {
   sb_topo : Topology.t;

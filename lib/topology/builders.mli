@@ -29,6 +29,10 @@ val leaf_spine :
 val paper_leaf_spine : unit -> leaf_spine
 (** §6.1's instance: 128 servers, 8 leaves, 4 spines, 10/40 Gbps. *)
 
+val leaf_spine_large : unit -> leaf_spine
+(** Scale-study instance: 1024 servers, 32 leaves, 16 spines,
+    10/40 Gbps. *)
+
 type fat_tree = {
   ft_topo : Topology.t;
   ft_servers : int array;
@@ -42,6 +46,13 @@ val fat_tree : ?link_capacity:float -> ?link_delay:float -> k:int -> unit -> fat
     aggregation switches, (k/2)^2 core switches, and (k/2)^2 servers per
     pod — k^3/4 servers total, full bisection with uniform link speeds
     (default 10 Gbps). [k] must be even and >= 2. *)
+
+val fat_tree_k16 : unit -> fat_tree
+(** 1024 servers, 64 cores, 128 edge + 128 aggregation switches: the
+    scale-study fabric for 100k+ flow workloads. *)
+
+val fat_tree_k32 : unit -> fat_tree
+(** 8192 servers, 256 cores, 512 edge + 512 aggregation switches. *)
 
 type single_bottleneck = {
   sb_topo : Topology.t;

@@ -19,3 +19,22 @@ val ecmp_path : Topology.t -> src:int -> dst:int -> hash:int -> int list
     @raise Invalid_argument when [dst] is unreachable from [src]. *)
 
 val hop_count : Topology.t -> src:int -> dst:int -> int option
+
+type router
+(** Memoized ECMP state over one topology: the reverse adjacency plus,
+    per destination (computed on first use), hop distances and
+    shortest-path counts for every node. Lets large workloads place
+    hundreds of thousands of flows in O(path length) per flow instead of
+    enumerating every equal-cost path per call. Not thread-safe (the
+    per-destination tables are cached in a hash table). *)
+
+val router : Topology.t -> router
+
+val ecmp_path_fast : router -> src:int -> dst:int -> hash:int -> int list
+(** Exactly [ecmp_path topo ~src ~dst ~hash] — same path, same tie-break
+    and hash-index semantics — computed without path enumeration.
+    @raise Invalid_argument when [dst] is unreachable from [src]. *)
+
+val ecmp_path_count : router -> src:int -> dst:int -> int
+(** Number of equal-cost shortest paths ([0] when unreachable, [1] when
+    [src = dst]). *)

@@ -1,0 +1,138 @@
+(* A tiny blocking domain pool for data-parallel index sweeps.
+
+   Workers are spawned once and sleep on a condition variable between
+   runs (no spinning: the pool must not degrade single-core machines or
+   oversubscribed CI runners). [run] splits [0, n) into [jobs] contiguous
+   chunks with value-independent boundaries, so any kernel whose per-index
+   work reads only shared inputs and writes only its own index produces
+   byte-identical results for every job count. *)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  start : Condition.t;
+  finish : Condition.t;
+  mutable body : int -> int -> unit;  (* current kernel: [body lo hi] *)
+  bounds : (int * int) array;  (* chunk per worker, this epoch *)
+  mutable epoch : int;  (* bumped by [run]; wakes the workers *)
+  mutable pending : int;  (* workers still inside the current epoch *)
+  mutable stopping : bool;
+  mutable failed : exn option;  (* first worker exception this epoch *)
+  mutable domains : unit Domain.t array;
+}
+
+let jobs t = t.jobs
+
+let chunk ~n ~jobs k = (k * n / jobs, (k + 1) * n / jobs)
+
+let worker t w =
+  let my_epoch = ref 0 in
+  Mutex.lock t.mutex;
+  let rec loop () =
+    while (not t.stopping) && t.epoch = !my_epoch do
+      Condition.wait t.start t.mutex
+    done;
+    if not t.stopping then begin
+      my_epoch := t.epoch;
+      let lo, hi = t.bounds.(w) in
+      let body = t.body in
+      Mutex.unlock t.mutex;
+      let error =
+        match body lo hi with
+        | () -> None
+        | exception e -> Some e
+      in
+      Mutex.lock t.mutex;
+      (match error, t.failed with
+      | Some e, None -> t.failed <- Some e
+      | (Some _ | None), _ -> ());
+      t.pending <- t.pending - 1;
+      if t.pending = 0 then Condition.broadcast t.finish;
+      loop ()
+    end
+  in
+  loop ();
+  Mutex.unlock t.mutex
+
+let create ~jobs =
+  let jobs = Stdlib.max 1 jobs in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      start = Condition.create ();
+      finish = Condition.create ();
+      body = (fun _ _ -> ());
+      bounds = Array.make (Stdlib.max 1 (jobs - 1)) (0, 0);
+      epoch = 0;
+      pending = 0;
+      stopping = false;
+      failed = None;
+      domains = [||];
+    }
+  in
+  t.domains <- Array.init (jobs - 1) (fun w -> Domain.spawn (fun () -> worker t w));
+  t
+
+let run t ~n f =
+  if n < 0 then invalid_arg "Shard.run: negative range";
+  if t.jobs = 1 || n <= 1 then f 0 n
+  else begin
+    Mutex.lock t.mutex;
+    if t.stopping then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Shard.run: pool is stopped"
+    end;
+    t.body <- f;
+    for w = 0 to t.jobs - 2 do
+      (* Worker [w] takes chunk [w + 1]; the calling domain runs chunk 0
+         itself while the workers are busy. *)
+      t.bounds.(w) <- chunk ~n ~jobs:t.jobs (w + 1)
+    done;
+    t.pending <- t.jobs - 1;
+    t.failed <- None;
+    t.epoch <- t.epoch + 1;
+    Condition.broadcast t.start;
+    Mutex.unlock t.mutex;
+    let own_error =
+      let lo, hi = chunk ~n ~jobs:t.jobs 0 in
+      match f lo hi with
+      | () -> None
+      | exception e -> Some e
+    in
+    Mutex.lock t.mutex;
+    while t.pending > 0 do
+      Condition.wait t.finish t.mutex
+    done;
+    let worker_error = t.failed in
+    t.failed <- None;
+    t.body <- (fun _ _ -> ());
+    Mutex.unlock t.mutex;
+    (* The caller's own chunk failing wins (it failed first from the
+       caller's perspective); either way every worker has finished, so the
+       pool is reusable and no write to shared output is still in flight. *)
+    match own_error, worker_error with
+    | Some e, _ | None, Some e -> raise e
+    | None, None -> ()
+  end
+
+let stop t =
+  Mutex.lock t.mutex;
+  if not t.stopping then begin
+    t.stopping <- true;
+    Condition.broadcast t.start;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.domains;
+    t.domains <- [||]
+  end
+  else Mutex.unlock t.mutex
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  let result =
+    match f t with
+    | r -> Ok r
+    | exception e -> Error e
+  in
+  stop t;
+  match result with Ok r -> r | Error e -> raise e

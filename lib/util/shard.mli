@@ -1,0 +1,39 @@
+(** A small blocking domain pool for data-parallel index sweeps.
+
+    [run] splits [0, n)] into [jobs] contiguous chunks whose boundaries
+    depend only on [n] and [jobs]. A kernel whose per-index work reads
+    only shared inputs and writes only its own output index therefore
+    produces {e byte-identical} results for every job count — the
+    determinism discipline the sharded xWI price update relies on
+    (see DESIGN.md "Sparse NUM core").
+
+    Workers sleep between runs (condition variable, no spinning), so an
+    idle pool costs nothing and oversubscribing a small machine only adds
+    wake-up latency, never busy-wait contention. *)
+
+type t
+
+val create : jobs:int -> t
+(** Spawn [jobs - 1] worker domains ([jobs] is clamped to at least 1; a
+    1-job pool runs everything on the calling domain). *)
+
+val jobs : t -> int
+
+val chunk : n:int -> jobs:int -> int -> (int * int)
+(** [chunk ~n ~jobs k] is the [lo, hi)] range of the [k]-th of [jobs]
+    contiguous chunks of [0, n)] — exposed for tests. *)
+
+val run : t -> n:int -> (int -> int -> unit) -> unit
+(** [run t ~n f] executes [f lo hi] over a partition of [0, n)]: chunk 0
+    on the calling domain, the rest on the workers; returns when all
+    chunks are done. If any chunk raises, the first exception (caller's
+    chunk taking precedence) is re-raised after every worker has
+    finished, so the pool stays reusable.
+    @raise Invalid_argument on a stopped pool or negative [n]. *)
+
+val stop : t -> unit
+(** Join and release the worker domains. Idempotent; [run] after [stop]
+    raises. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], apply, then [stop] (also on exception). *)

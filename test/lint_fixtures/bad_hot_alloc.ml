@@ -7,3 +7,11 @@ let[@nf.hot] bump xs x = x :: xs
 let[@nf.hot] capture x =
   let f y = x + y in
   f 1
+
+(* Container constructors are heap allocations too: the CSR sweep kernels
+   must write into preallocated workspace buffers. *)
+
+let[@nf.hot] widen xs = Array.append xs xs
+
+let[@nf.hot] fresh_scratch n =
+  Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n

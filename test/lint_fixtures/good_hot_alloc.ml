@@ -4,4 +4,19 @@ let[@nf.hot] bump arr i = arr.(i) <- arr.(i) +. 1.
 
 let[@nf.hot] clamp x lo hi = if x < lo then lo else if x > hi then hi else x
 
+(* In-place CSR-sweep style: unsafe indexed reads/writes, Array.blit and
+   a ref accumulator are all fine — nothing fresh is constructed. *)
+let[@nf.hot] sweep row_ptr row_cols prices out n =
+  for i = 0 to n - 1 do
+    let acc = ref 0. in
+    for k = Array.unsafe_get row_ptr i to Array.unsafe_get row_ptr (i + 1) - 1 do
+      acc := !acc +. Array.unsafe_get prices (Array.unsafe_get row_cols k)
+    done;
+    Array.unsafe_set out i !acc
+  done
+
+let[@nf.hot] reload src dst n = Array.blit src 0 dst 0 n
+
 let pair x = (x, x)
+
+let fresh n = Array.make n 0.

@@ -47,7 +47,7 @@ let test_float_compare =
 
 let test_hot_alloc =
   check_flags "hot-alloc" ~bad:"bad_hot_alloc.ml" ~good:"good_hot_alloc.ml"
-    ~expect:3
+    ~expect:5
 
 let test_exn_swallow =
   check_flags "exn-swallow" ~bad:"bad_exn_swallow.ml"

@@ -533,6 +533,166 @@ let test_problem_validation () =
     (Invalid_argument "Problem.create: link id out of range") (fun () ->
       ignore (Problem.create ~caps:[| 1. |] ~groups:[ Problem.single_path u [| 3 |] ]))
 
+(* ------------------------------------------------------------------ *)
+(* Sparse CSR/CSC core vs the legacy reference kernels *)
+
+module Incidence = Nf_num.Incidence
+module Reference = Nf_num.Reference
+module Shard = Nf_util.Shard
+
+let test_incidence_structure () =
+  let u = Utility.proportional_fair () in
+  let group = { Problem.utility = u; paths = [ [| 0 |]; [| 1; 2 |] ] } in
+  let solo = Problem.single_path u [| 0; 2 |] in
+  let p = Problem.create ~caps:[| 1.; 2.; 3. |] ~groups:[ group; solo ] in
+  let inc = Problem.incidence p in
+  Alcotest.(check int) "nnz" 5 inc.Incidence.nnz;
+  Alcotest.(check (array int)) "row_ptr" [| 0; 1; 3; 5 |] inc.Incidence.row_ptr;
+  Alcotest.(check (array int))
+    "row_cols keeps path order" [| 0; 1; 2; 0; 2 |]
+    (Array.sub inc.Incidence.row_cols 0 5);
+  Alcotest.(check (array int)) "col_ptr" [| 0; 2; 3; 5 |] inc.Incidence.col_ptr;
+  Alcotest.(check (array int))
+    "col_rows ascending per link" [| 0; 2; 1; 1; 2 |]
+    (Array.sub inc.Incidence.col_rows 0 5);
+  Alcotest.(check (array int)) "grp_ptr" [| 0; 2; 3 |] inc.Incidence.grp_ptr;
+  Alcotest.(check (array int))
+    "grp_flows" [| 0; 1; 2 |]
+    (Array.sub inc.Incidence.grp_flows 0 3);
+  Alcotest.(check (array int))
+    "group_of_flow" [| 0; 0; 1 |] inc.Incidence.group_of_flow;
+  Alcotest.(check bool) "multipath => not singleton" false
+    inc.Incidence.singleton;
+  check_close "caps mirror" 2. (Bigarray.Array1.get inc.Incidence.caps 1)
+
+(* Random mixed single/multipath problem with varied alpha-fair
+   utilities: the adversary for the sparse-vs-reference properties. *)
+let random_problem rng =
+  let n_links = 2 + Rng.int rng 5 in
+  let caps = Array.init n_links (fun _ -> Rng.uniform rng ~lo:1. ~hi:10.) in
+  let n_groups = 2 + Rng.int rng 5 in
+  let groups =
+    List.init n_groups (fun _ ->
+        let n_sub = 1 + Rng.int rng 2 in
+        let paths =
+          List.init n_sub (fun _ ->
+              let len = 1 + Rng.int rng (min 3 n_links) in
+              Array.sub (Rng.permutation rng n_links) 0 len)
+        in
+        let alpha = [| 0.5; 1.; 2. |].(Rng.int rng 3) in
+        let weight = Rng.uniform rng ~lo:0.2 ~hi:5. in
+        { Problem.utility = Utility.alpha_fair ~weight ~alpha (); paths })
+  in
+  Problem.create ~caps ~groups
+
+let prop_sparse_maxmin_matches_reference =
+  QCheck.Test.make
+    ~name:"sparse water-filling matches the legacy solver within 1e-9"
+    ~count:300 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create ~seed:(seed + 2000) in
+      let p = random_problem rng in
+      let n_flows = Problem.n_flows p in
+      let weights =
+        Array.init n_flows (fun _ -> Rng.uniform rng ~lo:0.2 ~hi:5.)
+      in
+      let legacy = Reference.maxmin p ~weights in
+      let inc = Problem.incidence p in
+      let ws = Maxmin.sparse_workspace inc in
+      let w = Incidence.vec_of_array weights in
+      let rates = Incidence.vec n_flows in
+      Maxmin.solve_sparse ws inc ~weights:w ~rates;
+      let sparse = Array.make n_flows 0. in
+      Incidence.vec_to_array rates sparse;
+      Array.for_all2 (Fcmp.rel_eq ~rel:1e-9) legacy.Maxmin.rates sparse)
+
+let prop_sparse_step_matches_reference =
+  QCheck.Test.make ~name:"sparse xWI step matches the legacy step within 1e-9"
+    ~count:100 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create ~seed:(seed + 3000) in
+      let p = random_problem rng in
+      let state = Xwi.init p in
+      let prices = Array.copy state.Xwi.prices in
+      let rates = Array.copy state.Xwi.rates in
+      let weights = Array.copy state.Xwi.weights in
+      let ok = ref true in
+      for _ = 1 to 5 do
+        Xwi.step p Xwi.default_params state;
+        Reference.step p Xwi.default_params ~prices ~rates ~weights;
+        ok :=
+          !ok
+          && Array.for_all2 (Fcmp.rel_eq ~rel:1e-9) prices state.Xwi.prices
+          && Array.for_all2 (Fcmp.rel_eq ~rel:1e-9) rates state.Xwi.rates
+          && Array.for_all2 (Fcmp.rel_eq ~rel:1e-9) weights state.Xwi.weights
+      done;
+      !ok)
+
+let bits_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+       a b
+
+let prop_sharded_prices_bit_identical =
+  QCheck.Test.make ~name:"-j 4 price update is byte-identical to -j 1"
+    ~count:40 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create ~seed:(seed + 4000) in
+      let p = random_problem rng in
+      let seq = Xwi.init p in
+      Shard.with_pool ~jobs:4 (fun pool ->
+          let par = Xwi.init ~pool p in
+          let ok = ref true in
+          for _ = 1 to 20 do
+            Xwi.step p Xwi.default_params seq;
+            Xwi.step p Xwi.default_params par;
+            ok :=
+              !ok
+              && bits_equal seq.Xwi.prices par.Xwi.prices
+              && bits_equal seq.Xwi.rates par.Xwi.rates
+              && bits_equal seq.Xwi.weights par.Xwi.weights
+          done;
+          !ok))
+
+let test_sharded_long_run_bit_identical () =
+  (* One dense instance, 200 steps, every job count: the sharded price
+     update must be bit-for-bit the sequential one whatever the chunking. *)
+  let rng = Rng.create ~seed:99 in
+  let n_links = 24 in
+  let caps = Array.init n_links (fun _ -> Rng.uniform rng ~lo:1. ~hi:10.) in
+  let groups =
+    List.init 60 (fun _ ->
+        let len = 1 + Rng.int rng 4 in
+        Problem.single_path
+          (Utility.alpha_fair ~weight:(Rng.uniform rng ~lo:0.2 ~hi:5.) ~alpha:1. ())
+          (Array.sub (Rng.permutation rng n_links) 0 len))
+  in
+  let p = Problem.create ~caps ~groups in
+  let run jobs =
+    let step_all state =
+      for _ = 1 to 200 do
+        Xwi.step p Xwi.default_params state
+      done;
+      state
+    in
+    if jobs = 1 then step_all (Xwi.init p)
+    else Shard.with_pool ~jobs (fun pool -> step_all (Xwi.init ~pool p))
+  in
+  let base = run 1 in
+  List.iter
+    (fun jobs ->
+      let s = run jobs in
+      Alcotest.(check bool)
+        (Printf.sprintf "prices identical at -j %d" jobs)
+        true
+        (bits_equal base.Xwi.prices s.Xwi.prices);
+      Alcotest.(check bool)
+        (Printf.sprintf "rates identical at -j %d" jobs)
+        true
+        (bits_equal base.Xwi.rates s.Xwi.rates))
+    [ 2; 3; 4; 7 ]
+
 let () =
   Alcotest.run "nf_num"
     [
@@ -607,5 +767,13 @@ let () =
         [
           quick "structure" test_problem_structure;
           quick "validation" test_problem_validation;
+        ] );
+      ( "sparse",
+        [
+          quick "incidence structure" test_incidence_structure;
+          qcheck prop_sparse_maxmin_matches_reference;
+          qcheck prop_sparse_step_matches_reference;
+          qcheck prop_sharded_prices_bit_identical;
+          quick "long-run shard byte-identity" test_sharded_long_run_bit_identical;
         ] );
     ]

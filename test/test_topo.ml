@@ -221,6 +221,99 @@ let test_fat_tree () =
     (Invalid_argument "Builders.fat_tree: k must be even and >= 2") (fun () ->
       ignore (Builders.fat_tree ~k:3 ()))
 
+let test_leaf_spine_large () =
+  let ls = Builders.leaf_spine_large () in
+  Alcotest.(check int) "1024 servers" 1024 (Array.length ls.Builders.servers);
+  Alcotest.(check int) "32 leaves" 32 (Array.length ls.Builders.leaves);
+  Alcotest.(check int) "16 spines" 16 (Array.length ls.Builders.spines);
+  (* 1024 server links + 32*16 leaf-spine links, both duplex. *)
+  Alcotest.(check int) "link count" 3072 (Topology.n_links ls.Builders.topo);
+  let s0 = ls.Builders.servers.(0) and s40 = ls.Builders.servers.(40) in
+  Alcotest.(check (option int)) "cross-leaf hops" (Some 4)
+    (Routing.hop_count ls.Builders.topo ~src:s0 ~dst:s40);
+  let r = Routing.router ls.Builders.topo in
+  Alcotest.(check int) "one ECMP path per spine" 16
+    (Routing.ecmp_path_count r ~src:s0 ~dst:s40)
+
+let test_fat_tree_presets () =
+  let ft16 = Builders.fat_tree_k16 () in
+  Alcotest.(check int) "k16 servers" 1024 (Array.length ft16.Builders.ft_servers);
+  Alcotest.(check int) "k16 edges" 128 (Array.length ft16.Builders.ft_edges);
+  Alcotest.(check int) "k16 aggs" 128 (Array.length ft16.Builders.ft_aggs);
+  Alcotest.(check int) "k16 cores" 64 (Array.length ft16.Builders.ft_cores);
+  (* server + edge-agg + agg-core layers each contribute k^3/4 duplex
+     links: 3 * 1024 * 2 directed links. *)
+  Alcotest.(check int) "k16 link count" 6144 (Topology.n_links ft16.Builders.ft_topo);
+  let topo = ft16.Builders.ft_topo in
+  let srv = ft16.Builders.ft_servers in
+  Alcotest.(check (option int)) "k16 same-edge hops" (Some 2)
+    (Routing.hop_count topo ~src:srv.(0) ~dst:srv.(1));
+  Alcotest.(check (option int)) "k16 intra-pod hops" (Some 4)
+    (Routing.hop_count topo ~src:srv.(0) ~dst:srv.(8));
+  (* Pod 0 holds (k/2)^2 = 64 servers: server 64 is in pod 1. *)
+  Alcotest.(check (option int)) "k16 cross-pod hops" (Some 6)
+    (Routing.hop_count topo ~src:srv.(0) ~dst:srv.(64));
+  let r = Routing.router topo in
+  Alcotest.(check int) "k16 intra-pod ECMP" 8
+    (Routing.ecmp_path_count r ~src:srv.(0) ~dst:srv.(8));
+  Alcotest.(check int) "k16 cross-pod ECMP" 64
+    (Routing.ecmp_path_count r ~src:srv.(0) ~dst:srv.(64));
+  let ft32 = Builders.fat_tree_k32 () in
+  Alcotest.(check int) "k32 servers" 8192 (Array.length ft32.Builders.ft_servers);
+  Alcotest.(check int) "k32 edges" 512 (Array.length ft32.Builders.ft_edges);
+  Alcotest.(check int) "k32 aggs" 512 (Array.length ft32.Builders.ft_aggs);
+  Alcotest.(check int) "k32 cores" 256 (Array.length ft32.Builders.ft_cores);
+  Alcotest.(check int) "k32 link count" 49152
+    (Topology.n_links ft32.Builders.ft_topo);
+  Alcotest.(check (option int)) "k32 cross-pod hops" (Some 6)
+    (Routing.hop_count ft32.Builders.ft_topo
+       ~src:ft32.Builders.ft_servers.(0)
+       ~dst:ft32.Builders.ft_servers.(256))
+
+let prop_router_matches_ecmp_path =
+  (* The memoized router must reproduce the enumerating ecmp_path exactly:
+     same path for every hash, same equal-cost path count. *)
+  QCheck.Test.make ~name:"router matches enumerating ECMP" ~count:60
+    QCheck.(pair small_int bool)
+    (fun (seed, use_fat_tree) ->
+      let topo, hosts =
+        if use_fat_tree then
+          let ft = Builders.fat_tree ~k:4 () in
+          (ft.Builders.ft_topo, ft.Builders.ft_servers)
+        else
+          let ls = Builders.paper_leaf_spine () in
+          (ls.Builders.topo, ls.Builders.servers)
+      in
+      let r = Routing.router topo in
+      let rng = Rng.create ~seed:(seed + 71) in
+      let ok = ref true in
+      for i = 1 to 12 do
+        let s = Rng.pick rng hosts and d = Rng.pick rng hosts in
+        if s <> d then begin
+          let hash = (i * 2654435761) + seed in
+          let slow = Routing.ecmp_path topo ~src:s ~dst:d ~hash in
+          let fast = Routing.ecmp_path_fast r ~src:s ~dst:d ~hash in
+          if slow <> fast then ok := false;
+          if
+            Routing.ecmp_path_count r ~src:s ~dst:d
+            <> List.length (Routing.all_shortest_paths topo ~src:s ~dst:d)
+          then ok := false
+        end
+      done;
+      !ok)
+
+let test_router_unreachable () =
+  (* Two disconnected hosts: fast router must mirror ecmp_path's error. *)
+  let b = Topology.Builder.create () in
+  let h0 = Topology.Builder.add_host b ~label:"h0" () in
+  let h1 = Topology.Builder.add_host b ~label:"h1" () in
+  let topo = Topology.Builder.finish b in
+  let r = Routing.router topo in
+  Alcotest.(check int) "no path" 0 (Routing.ecmp_path_count r ~src:h0 ~dst:h1);
+  Alcotest.check_raises "fast raises like slow"
+    (Invalid_argument "Routing.ecmp_path_fast: destination unreachable")
+    (fun () -> ignore (Routing.ecmp_path_fast r ~src:h0 ~dst:h1 ~hash:3))
+
 let prop_hop_count_matches_path_length =
   QCheck.Test.make ~name:"hop_count equals shortest path length" ~count:50
     QCheck.(triple (2 -- 4) (1 -- 4) (1 -- 3))
@@ -256,6 +349,8 @@ let () =
           quick "ecmp selection" test_ecmp_selection;
           qcheck prop_random_leaf_spine_routes;
           qcheck prop_hop_count_matches_path_length;
+          qcheck prop_router_matches_ecmp_path;
+          quick "router unreachable" test_router_unreachable;
         ] );
       ( "builders",
         [
@@ -264,5 +359,7 @@ let () =
           quick "parking lot" test_parking_lot;
           quick "three-link pooling" test_three_link_pooling;
           quick "fat tree" test_fat_tree;
+          quick "leaf-spine large" test_leaf_spine_large;
+          quick "fat tree presets" test_fat_tree_presets;
         ] );
     ]

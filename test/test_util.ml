@@ -751,6 +751,65 @@ let test_profile_disabled_is_passthrough () =
   Alcotest.(check int) "nothing recorded" 0
     (List.length (Profile.categories ()))
 
+(* ------------------------------------------------------------------ *)
+(* Shard: the blocking domain pool behind the sharded price update *)
+
+module Shard = Nf_util.Shard
+
+let prop_shard_chunks_partition =
+  QCheck.Test.make ~name:"chunks exactly partition [0, n)" ~count:300
+    QCheck.(pair (0 -- 5000) (1 -- 9))
+    (fun (n, jobs) ->
+      let ok = ref true in
+      let prev_hi = ref 0 in
+      for k = 0 to jobs - 1 do
+        let lo, hi = Shard.chunk ~n ~jobs k in
+        if lo <> !prev_hi || hi < lo then ok := false;
+        prev_hi := hi
+      done;
+      !ok && !prev_hi = n)
+
+let test_shard_run_covers () =
+  Shard.with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check int) "jobs" 4 (Shard.jobs pool);
+      let n = 1013 in
+      let hits = Array.make n 0 in
+      (* Each index is written exactly once, by whichever domain owns its
+         chunk; disjointness makes the unsynchronized writes safe. *)
+      Shard.run pool ~n (fun lo hi ->
+          for i = lo to hi - 1 do
+            hits.(i) <- hits.(i) + 1
+          done);
+      Alcotest.(check bool) "every index once" true
+        (Array.for_all (fun c -> c = 1) hits);
+      (* The pool is reusable. *)
+      Shard.run pool ~n (fun lo hi ->
+          for i = lo to hi - 1 do
+            hits.(i) <- hits.(i) + 1
+          done);
+      Alcotest.(check bool) "second run too" true
+        (Array.for_all (fun c -> c = 2) hits))
+
+let test_shard_exception_propagates () =
+  Shard.with_pool ~jobs:3 (fun pool ->
+      let boom lo _hi = if lo = 0 then failwith "chunk zero failed" in
+      Alcotest.check_raises "caller chunk exception wins"
+        (Failure "chunk zero failed") (fun () -> Shard.run pool ~n:30 boom);
+      (* The failed run must not poison the pool. *)
+      let total = Atomic.make 0 in
+      Shard.run pool ~n:30 (fun lo hi ->
+          ignore (Atomic.fetch_and_add total (hi - lo)));
+      Alcotest.(check int) "pool survives a failed run" 30 (Atomic.get total))
+
+let test_shard_stop_idempotent () =
+  let pool = Shard.create ~jobs:2 in
+  Shard.run pool ~n:4 (fun _ _ -> ());
+  Shard.stop pool;
+  Shard.stop pool;
+  Alcotest.check_raises "run after stop rejected"
+    (Invalid_argument "Shard.run: pool is stopped") (fun () ->
+      Shard.run pool ~n:4 (fun _ _ -> ()))
+
 let quick name f = Alcotest.test_case name `Quick f
 
 let qcheck = QCheck_alcotest.to_alcotest
@@ -844,5 +903,12 @@ let () =
         [
           quick "accounting" test_profile_accounting;
           quick "disabled passthrough" test_profile_disabled_is_passthrough;
+        ] );
+      ( "shard",
+        [
+          qcheck prop_shard_chunks_partition;
+          quick "run covers and is reusable" test_shard_run_covers;
+          quick "exceptions propagate" test_shard_exception_propagates;
+          quick "stop is idempotent" test_shard_stop_idempotent;
         ] );
     ]

@@ -27,7 +27,9 @@ let catalog =
       id = "hot-alloc";
       summary =
         "functions marked [@nf.hot] may not allocate closures, tuples, \
-         list cells, records, array literals or stage partial applications";
+         list cells, records, array literals, stage partial applications, \
+         or call allocating container constructors (Array.make/init/copy, \
+         List.map, Bigarray.Array1.create, ...)";
     };
     {
       id = "exn-swallow";
@@ -143,6 +145,58 @@ let sort_idents =
     "List.sort_uniq";
     "Array.sort";
     "Array.stable_sort";
+  ]
+
+(* Stdlib calls that always allocate a fresh container (or box the
+   result): forbidden inside [@nf.hot] bodies, which must write into
+   preallocated workspace buffers instead. Deliberately omits in-place
+   operations (Array.blit/fill, Bigarray.Array1.blit/fill) and [ref]
+   (a bounded, loop-invariant accumulator cell is standard style in the
+   CSR sweep kernels). *)
+let allocating_call_idents =
+  [
+    "Array.make";
+    "Array.create_float";
+    "Array.init";
+    "Array.make_matrix";
+    "Array.copy";
+    "Array.append";
+    "Array.concat";
+    "Array.sub";
+    "Array.of_list";
+    "Array.to_list";
+    "Array.map";
+    "Array.mapi";
+    "Array.to_seq";
+    "List.init";
+    "List.map";
+    "List.mapi";
+    "List.rev";
+    "List.rev_map";
+    "List.append";
+    "List.concat";
+    "List.concat_map";
+    "List.filter";
+    "List.filter_map";
+    "List.of_seq";
+    "List.to_seq";
+    "Bigarray.Array1.create";
+    "Bigarray.Array1.sub";
+    "Array1.create";
+    "Array1.sub";
+    "String.make";
+    "String.init";
+    "String.sub";
+    "String.concat";
+    "String.cat";
+    "Bytes.create";
+    "Bytes.make";
+    "Bytes.sub";
+    "Buffer.create";
+    "Hashtbl.create";
+    "Queue.create";
+    "Printf.sprintf";
+    "Format.asprintf";
   ]
 
 let poly_compare_idents =
@@ -333,6 +387,15 @@ let check_hot_node ctx e =
     bad
       "staged application (likely partial application, which allocates a \
        closure) inside a [@nf.hot] function"
+  | Pexp_apply (f, _) -> (
+    match ident_of_expr f with
+    | Some id when List.mem id allocating_call_idents ->
+      bad
+        (Printf.sprintf
+           "%s allocates a fresh container inside a [@nf.hot] function; \
+            write into a preallocated workspace buffer instead"
+           id)
+    | Some _ | None -> ())
   | _ -> ()
 
 (* --------------------------------------------------------------- *)
