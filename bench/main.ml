@@ -17,7 +17,16 @@ module E = Nf_experiments
 
 let quick = ref false
 
-let jobs = ref 1
+(* 0 = auto: the sweep's parallel leg defaults to a real domain count so
+   the reported parallel_speedup measures something (a -j 1 sweep used to
+   land "parallel_speedup": 1.000 in every report). *)
+let jobs = ref 0
+
+let resolve_jobs () =
+  if !jobs >= 1 then !jobs
+  else Stdlib.min 8 (Stdlib.max 4 (Domain.recommended_domain_count ()))
+
+let audit_alloc = ref false
 
 let section name =
   Format.printf "@.==== %s ====@." name
@@ -59,7 +68,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_report ~total ~sweep_wall ~serial =
+let write_report ~jobs_parallel ~total ~sweep_wall ~serial =
   let rev = Option.value (git_rev ()) ~default:"unknown" in
   let path = Printf.sprintf "BENCH_%s.json" rev in
   let b = Buffer.create 1024 in
@@ -67,8 +76,9 @@ let write_report ~total ~sweep_wall ~serial =
   Buffer.add_string b (Printf.sprintf "  \"rev\": \"%s\",\n" (json_escape rev));
   Buffer.add_string b
     (Printf.sprintf
-       "  \"quick\": %b,\n  \"jobs\": %d,\n  \"total_seconds\": %.3f,\n" !quick
-       !jobs total);
+       "  \"quick\": %b,\n  \"jobs\": %d,\n  \"jobs_serial\": 1,\n\
+       \  \"jobs_parallel\": %d,\n  \"total_seconds\": %.3f,\n"
+       !quick jobs_parallel jobs_parallel total);
   Buffer.add_string b
     (Printf.sprintf
        "  \"sweep_wall_seconds\": %.3f,\n  \"serial_seconds\": %.3f,\n\
@@ -309,16 +319,20 @@ let run_micro () =
 
 let usage () =
   Format.eprintf
-    "usage: main.exe [--quick] [-j N] [NAME ...]  (NAMEs from `nf_run \
-     list', plus \"micro\")@.";
+    "usage: main.exe [--quick] [--audit-alloc] [-j N] [NAME ...]  (NAMEs \
+     from `nf_run list', plus \"micro\")@.";
   exit 2
 
-(* Parse --quick / -j N / --jobs N; everything else is a selection. *)
+(* Parse --quick / --audit-alloc / -j N / --jobs N; everything else is a
+   selection. *)
 let rec parse_args = function
   | [] -> []
   | "--" :: rest -> parse_args rest
   | "--quick" :: rest ->
     quick := true;
+    parse_args rest
+  | "--audit-alloc" :: rest ->
+    audit_alloc := true;
     parse_args rest
   | ("-j" | "--jobs") :: n :: rest -> (
     match int_of_string_opt n with
@@ -331,6 +345,13 @@ let rec parse_args = function
 
 let () =
   let selected = parse_args (List.tl (Array.to_list Sys.argv)) in
+  if !audit_alloc then begin
+    (* Allocation audit only: no sweep, no report. Exit status is the
+       CI gate (1 = some [@nf.hot] kernel allocates in steady state). *)
+    let results = E.Alloc_audit.run () in
+    Format.printf "%a@." E.Alloc_audit.pp results;
+    exit (if E.Alloc_audit.ok results then 0 else 1)
+  end;
   let want_micro, exp_names =
     match selected with
     | [] -> (true, List.map (fun e -> e.E.Registry.name) (E.Registry.all ()))
@@ -348,8 +369,9 @@ let () =
       exp_names
   in
   let ctx = if !quick then E.Ctx.quick else E.Ctx.default in
+  let jobs_parallel = resolve_jobs () in
   let t0 = Unix.gettimeofday () in
-  let results = E.Runner.run ~jobs:!jobs ~ctx tasks in
+  let results = E.Runner.run ~jobs:jobs_parallel ~ctx tasks in
   let sweep_wall = Unix.gettimeofday () -. t0 in
   let failed = ref false in
   List.iter
@@ -371,7 +393,7 @@ let () =
   if tasks <> [] then
     Format.printf
       "@.(sweep: %.1f s wall, %.1f s serial, jobs=%d, speedup %.2fx)@."
-      sweep_wall serial !jobs
+      sweep_wall serial jobs_parallel
       (if sweep_wall > 0. then serial /. sweep_wall else 1.);
   if want_micro then begin
     let t0 = Unix.gettimeofday () in
@@ -384,5 +406,8 @@ let () =
   end;
   let total = Unix.gettimeofday () -. t0 in
   Format.printf "@.All done in %.1f s.@." total;
-  write_report ~total ~sweep_wall ~serial;
+  (* Snapshot the process GC totals into nf_gc_* metrics so the report's
+     "metrics" object records the run's allocation profile. *)
+  Nf_util.Gcstats.publish ();
+  write_report ~jobs_parallel ~total ~sweep_wall ~serial;
   if !failed then exit 1

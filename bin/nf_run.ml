@@ -105,17 +105,36 @@ let metrics_arg =
 
 let profile_arg =
   let doc =
-    "Account wall-clock time per event-handler category and print a \
-     \"where did the time go\" table after the run."
+    "Account wall-clock time and allocated bytes per event-handler \
+     category and print \"where did the time go\" / \"where did the \
+     bytes go\" tables after the run."
   in
   Arg.(value & flag & info [ "profile" ] ~doc)
 
+let diag_arg =
+  let doc =
+    "Attach per-iteration xWI solver diagnostics to every solver state \
+     created during the run; any non-converged solve dumps a JSONL \
+     postmortem (recent residuals, worst links) into $(docv). Implies \
+     -j 1."
+  in
+  Arg.(value & opt (some string) None & info [ "diag" ] ~docv:"DIR" ~doc)
+
+let mkdir_p dir =
+  match Unix.mkdir dir 0o755 with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  | exception Unix.Unix_error (e, _, _) ->
+    Format.eprintf "cannot create %s: %s@." dir (Unix.error_message e);
+    exit 1
+
 (* Install the requested sinks, run [f], then flush/report them. The
    status chatter goes to stderr so stdout stays pure report data. *)
-let with_observability ~trace ~metrics ~profile f =
+let with_observability ~trace ~metrics ~profile ~diag f =
   let module Trace = Nf_util.Trace in
   let module Metrics = Nf_util.Metrics in
   let module Profile = Nf_util.Profile in
+  let module Gcstats = Nf_util.Gcstats in
   let sink =
     match trace with
     | None -> None
@@ -126,8 +145,15 @@ let with_observability ~trace ~metrics ~profile f =
   in
   if profile then begin
     Profile.reset ();
-    Profile.set_enabled true
+    Profile.set_enabled true;
+    Gcstats.reset ();
+    Gcstats.set_enabled true
   end;
+  (match diag with
+  | None -> ()
+  | Some dir ->
+    mkdir_p dir;
+    Nf_num.Diag.configure (Some (Nf_num.Diag.default_config ~dir)));
   f ();
   (match sink with
   | None -> ()
@@ -135,6 +161,23 @@ let with_observability ~trace ~metrics ~profile f =
     Trace.close tr;
     Trace.set_default Trace.null;
     Format.eprintf "(trace: %d events written to %s)@." (Trace.emitted tr) path);
+  (match diag with
+  | None -> ()
+  | Some dir ->
+    (* Re-registering returns the existing metric, so the counters the
+       solver bumped are readable here by name. *)
+    let runs = Metrics.counter Metrics.global "nf_xwi_runs_total" in
+    let nonconv = Metrics.counter Metrics.global "nf_xwi_nonconverged_total" in
+    Format.eprintf
+      "(diag: %d of %d xWI runs hit their iteration cap; %d postmortem%s \
+       written to %s)@."
+      (Metrics.counter_value nonconv)
+      (Metrics.counter_value runs)
+      (Nf_num.Diag.postmortems_written ())
+      (if Nf_num.Diag.postmortems_written () = 1 then "" else "s")
+      dir;
+    Nf_num.Diag.configure None);
+  if profile then Gcstats.publish ();
   (match metrics with
   | None -> ()
   | Some path -> (
@@ -153,7 +196,11 @@ let with_observability ~trace ~metrics ~profile f =
       exit 1));
   if profile then begin
     Profile.set_enabled false;
-    Format.eprintf "@.Where did the time go:@.%a@." Profile.pp_table ()
+    Gcstats.set_enabled false;
+    Format.eprintf "@.Where did the time go:@.%a@." Profile.pp_table ();
+    Format.eprintf "@.Where did the bytes go:@.%a@."
+      (Gcstats.pp_table ~name_of:Profile.cat_name)
+      ()
   end
 
 let record_arg =
@@ -249,7 +296,7 @@ let write_output ~out data =
       exit 1)
 
 let run_experiments name all jobs timeout retries quick scale seed json csv out
-    record trace metrics profile =
+    record trace metrics profile diag =
   let tasks =
     if all then List.map E.Runner.of_entry (E.Registry.all ())
     else
@@ -279,10 +326,12 @@ let run_experiments name all jobs timeout retries quick scale seed json csv out
       exit 2
   in
   let jobs =
-    (* The profiler and the default trace sink are process-global and not
-       domain-safe; observability runs are forced serial. *)
-    if jobs > 1 && (profile || trace <> None) then begin
-      Format.eprintf "(--profile/--trace are not domain-safe; forcing -j 1)@.";
+    (* The profiler, the default trace sink, and the diag postmortem
+       counter are process-global and not domain-safe; observability runs
+       are forced serial. *)
+    if jobs > 1 && (profile || trace <> None || diag <> None) then begin
+      Format.eprintf
+        "(--profile/--trace/--diag are not domain-safe; forcing -j 1)@.";
       1
     end
     else jobs
@@ -292,7 +341,7 @@ let run_experiments name all jobs timeout retries quick scale seed json csv out
   (* Wall-clock on purpose: this is the elapsed time shown to the user,
      not anything that feeds a run record. *)
   let t0 = (Unix.gettimeofday () [@nf.allow "determinism"]) in
-  with_observability ~trace ~metrics ~profile (fun () ->
+  with_observability ~trace ~metrics ~profile ~diag (fun () ->
       results := E.Runner.run ~jobs ?timeout ~retries ~ctx tasks);
   let elapsed = (Unix.gettimeofday () [@nf.allow "determinism"]) -. t0 in
   let results = !results in
@@ -371,13 +420,14 @@ let exp_cmd =
     Term.(
       const run_experiments $ name_arg $ all_arg $ jobs_arg $ timeout_arg
       $ retries_arg $ quick_arg $ scale_arg $ seed_arg $ json_flag $ csv_flag
-      $ out_arg $ record_arg $ trace_arg $ metrics_arg $ profile_arg)
+      $ out_arg $ record_arg $ trace_arg $ metrics_arg $ profile_arg
+      $ diag_arg)
 
 let all_cmd =
   let doc = "Run every experiment (alias for $(b,exp --all))." in
   let run jobs timeout retries quick scale seed json csv out record =
     run_experiments None true jobs timeout retries quick scale seed json csv
-      out record None None false
+      out record None None false None
   in
   Cmd.v (Cmd.info "all" ~doc)
     Term.(
@@ -407,7 +457,7 @@ let proto_cmd =
         (String.concat ", " (Nf_sim.Protocols.names ()));
       exit 2
     | Some protocol ->
-      with_observability ~trace ~metrics ~profile @@ fun () ->
+      with_observability ~trace ~metrics ~profile ~diag:None @@ fun () ->
       let module Network = Nf_sim.Network in
       let module Builders = Nf_topo.Builders in
       let sb = Builders.single_bottleneck ~n_senders:2 () in

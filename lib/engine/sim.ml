@@ -1,5 +1,6 @@
 module Metrics = Nf_util.Metrics
 module Profile = Nf_util.Profile
+module Gcstats = Nf_util.Gcstats
 module Fheap = Nf_util.Fheap
 
 type cat = Profile.cat
@@ -81,7 +82,7 @@ let periodic t ?cat ?start ~interval action =
 (* The dispatch loop proper, split out of [run] so it can carry [@nf.hot]
    (the Fun.protect closure in [run] is per-run, not per-event, and stays
    outside the annotation). *)
-let[@nf.hot] run_loop t horizon profiling dispatched =
+let[@nf.hot] run_loop t horizon profiling gcing dispatched =
   let q = t.queue in
   let continue = ref true in
   while !continue && not t.stopped do
@@ -101,11 +102,19 @@ let[@nf.hot] run_loop t horizon profiling dispatched =
         Fheap.drop q;
         t.clock <- time;
         incr dispatched;
-        if profiling then begin
-          let t0 = Profile.now () in
-          action ();
-          Profile.record_cat c (Profile.now () -. t0)
-        end
+        if profiling then
+          if gcing then begin
+            let b0 = Gcstats.bytes () in
+            let t0 = Profile.now () in
+            action ();
+            Profile.record_cat c (Profile.now () -. t0);
+            Gcstats.record c (Gcstats.bytes () -. b0)
+          end
+          else begin
+            let t0 = Profile.now () in
+            action ();
+            Profile.record_cat c (Profile.now () -. t0)
+          end
         else action ()
       end
     end
@@ -118,11 +127,12 @@ let run ?until t =
      handler takes effect on the next [run]. Event/processed counters are
      batched and settled once per run (also on an escaping exception). *)
   let profiling = Profile.enabled () in
+  let gcing = profiling && Gcstats.enabled () in
   let dispatched = ref 0 in
   Fun.protect ~finally:(fun () ->
       t.processed <- t.processed + !dispatched;
       Metrics.add m_events !dispatched)
-  @@ fun () -> run_loop t horizon profiling dispatched
+  @@ fun () -> run_loop t horizon profiling gcing dispatched
 
 let stop t = t.stopped <- true
 

@@ -1,0 +1,167 @@
+(* Steady-state allocation audit of the [@nf.hot] kernels.
+
+   Each kernel is prebuilt once (topology, problem, queues, workspaces)
+   and then driven through [Gcstats.bytes_per_iteration], which warms the
+   kernel up past any lazy workspace growth and reports minor-heap bytes
+   per steady-state iteration. A clean kernel measures exactly 0.0; the
+   [budget] of 1 byte/iter absorbs only measurement noise, not real
+   boxing (a single boxed float already costs 16 bytes on 64-bit).
+
+   Build-profile caveat: dune's dev profile compiles with -opaque, which
+   disables cross-unit inlining, so a float crossing a library boundary
+   (Fheap's [~key] argument and [top_key] result, called from nf_sim /
+   this audit) is boxed no matter what the callee looks like. That is a
+   property of the build profile, not of the kernels — release builds
+   measure 0 — so [run] probes whether boundary floats box and grants
+   the two Fheap-boundary kernels a fixed [boundary_limit] when they do.
+   The xWI and max-min kernels keep their floats inside one compilation
+   unit by construction and must measure clean under every profile.
+
+   Run with the process-wide [Nf_num.Diag] config *cleared*: an attached
+   diag deliberately allocates one sample record per observed step. *)
+
+type result = { kernel : string; bytes_per_iter : float; limit : float }
+
+let budget = 1.0
+
+(* Two boxes per iteration (32 B) is the exact -opaque boundary cost of
+   the audited Fheap round trips; 40 adds measurement headroom without
+   admitting a third box. *)
+let boundary_limit = 40.0
+
+(* Does a float result box when returned across a library boundary? A
+   1-element Fheap keyed once: [top_key] is [@inline] and allocation-free,
+   so anything measured here is the call-boundary box of a dev (-opaque)
+   build. *)
+let boundary_boxing () =
+  let h = Nf_util.Fheap.create ~capacity:4 ~dummy:0 () in
+  Nf_util.Fheap.push h ~key:1.0 ~aux:0 0;
+  let out = [| 0. |] in
+  let probe () = out.(0) <- Nf_util.Fheap.top_key h in
+  Nf_util.Gcstats.bytes_per_iteration ~warmup:64 ~iters:1_000 probe > budget
+
+let fheap_kernel () =
+  let h = Nf_util.Fheap.create ~capacity:64 ~dummy:0 () in
+  let out = [| 0. |] in
+  let i = ref 0 in
+  fun () ->
+    incr i;
+    Nf_util.Fheap.push h ~key:(float_of_int (!i mod 97)) ~aux:0 0;
+    (* Stored, not [ignore]d: [ignore] takes ['a] and would box the float
+       itself, charging the kernel for the harness's sin. *)
+    out.(0) <- Nf_util.Fheap.top_key h;
+    ignore (Nf_util.Fheap.top h : int);
+    Nf_util.Fheap.drop h
+
+let stfq_kernel () =
+  let q = Nf_sim.Queue_disc.stfq () in
+  let packets =
+    Array.init 16 (fun fl ->
+        let p =
+          Nf_sim.Packet.make_data ~flow:fl ~seq:fl ~size:1500 ~path:[| 0 |]
+            ~now:0.
+        in
+        p.Nf_sim.Packet.virtual_packet_len <-
+          1500. /. float_of_int (1 + (fl mod 7));
+        p)
+  in
+  let i = ref 0 in
+  fun () ->
+    incr i;
+    let p = packets.(!i mod 16) in
+    ignore (q.Nf_sim.Queue_disc.enqueue p : bool);
+    ignore (q.Nf_sim.Queue_disc.dequeue_exn () : Nf_sim.Packet.t)
+
+(* The same k=4 fat-tree / ECMP / proportional-fair scenario as the
+   bench's xwi_iters_per_sec@small kernel, shrunk to 64 flows. *)
+let xwi_problem ~k ~n_flows =
+  let ft = Nf_topo.Builders.fat_tree ~k () in
+  let rng = Nf_util.Rng.create ~seed:7 in
+  let pairs =
+    Nf_workload.Traffic.random_pairs rng ~hosts:ft.Nf_topo.Builders.ft_servers
+      ~n:n_flows
+  in
+  let router = Nf_topo.Routing.router ft.Nf_topo.Builders.ft_topo in
+  let paths =
+    Array.mapi
+      (fun i { Nf_workload.Traffic.src; dst } ->
+        Array.of_list
+          (Nf_topo.Routing.ecmp_path_fast router ~src ~dst
+             ~hash:(i * 2654435761)))
+      pairs
+  in
+  let caps =
+    Array.map
+      (fun l -> l.Nf_topo.Topology.capacity)
+      (Nf_topo.Topology.links ft.Nf_topo.Builders.ft_topo)
+  in
+  Nf_num.Problem.create ~caps
+    ~groups:
+      (Array.to_list
+         (Array.map
+            (Nf_num.Problem.single_path (Nf_num.Utility.proportional_fair ()))
+            paths))
+
+let xwi_kernel () =
+  let problem = xwi_problem ~k:4 ~n_flows:64 in
+  let state = Nf_num.Xwi_core.init problem in
+  (* The audit measures the bare solver: drop any diag a process-wide
+     [--diag] config auto-attached (a diag allocates a sample per step
+     by design). *)
+  Nf_num.Xwi_core.set_diag state None;
+  let params = Nf_num.Xwi_core.default_params in
+  fun () -> Nf_num.Xwi_core.step problem params state
+
+let maxmin_kernel () =
+  let n_links = 32 in
+  let n_flows = 64 in
+  let caps = Array.make n_links 1e10 in
+  let paths =
+    Array.init n_flows (fun i ->
+        Array.init (1 + (i mod 4)) (fun j -> (i + (j * 7)) mod n_links))
+  in
+  let inc =
+    Nf_num.Incidence.create ~caps ~paths
+      ~group_of_flow:(Array.init n_flows Fun.id)
+      ~n_groups:n_flows
+  in
+  let weights =
+    Nf_num.Incidence.vec_of_array
+      (Array.init n_flows (fun i -> 0.5 +. float_of_int (i mod 7)))
+  in
+  let rates = Nf_num.Incidence.vec n_flows in
+  let ws = Nf_num.Maxmin.sparse_workspace inc in
+  fun () -> Nf_num.Maxmin.solve_sparse ws inc ~weights ~rates
+
+(* (kernel, thunk, crosses an Fheap library boundary with raw floats) *)
+let kernels () =
+  [
+    ("fheap_push_pop", fheap_kernel (), true);
+    ("stfq_enqueue_dequeue", stfq_kernel (), true);
+    ("xwi_step", xwi_kernel (), false);
+    ("maxmin_solve_sparse", maxmin_kernel (), false);
+  ]
+
+let run ?iters () =
+  let relaxed = boundary_boxing () in
+  List.map
+    (fun (kernel, f, boundary) ->
+      {
+        kernel;
+        bytes_per_iter = Nf_util.Gcstats.bytes_per_iteration ?iters f;
+        limit = (if relaxed && boundary then boundary_limit else budget);
+      })
+    (kernels ())
+
+let ok results =
+  List.for_all (fun r -> r.bytes_per_iter <= r.limit) results
+
+let pp ppf results =
+  Format.fprintf ppf "@[<v>Steady-state allocation audit:@,";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %-24s %10.3f B/iter  (limit %5.1f)  %s@," r.kernel
+        r.bytes_per_iter r.limit
+        (if r.bytes_per_iter <= r.limit then "ok" else "FAIL"))
+    results;
+  Format.fprintf ppf "@]"

@@ -5,9 +5,23 @@ module Trace = Nf_util.Trace
 let default_interval = 30e-6
 
 let make_with_prices ?(params = Xwi_core.default_params)
-    ?(interval = default_interval) ?trace ?pool problem =
+    ?(interval = default_interval) ?trace ?pool ?diag problem =
   let problem = ref problem in
   let state = ref (Xwi_core.init ?pool !problem) in
+  (* An explicit diag wins over whatever [init] auto-attached — but only
+     while its dimensions still match: rebinding can change the flow
+     count, and a mis-sized diag would index out of bounds. *)
+  let apply_diag () =
+    match diag with
+    | None -> ()
+    | Some d ->
+      let n_links, n_flows = Nf_num.Diag.dims d in
+      if
+        n_links = Problem.n_links !problem
+        && n_flows = Problem.n_flows !problem
+      then Xwi_core.set_diag !state diag
+  in
+  apply_diag ();
   let n_links = Problem.n_links !problem in
   let iter = ref 0 in
   let step () =
@@ -26,7 +40,8 @@ let make_with_prices ?(params = Xwi_core.default_params)
       invalid_arg "Fluid_xwi.rebind: link count changed";
     let prices = !state.Xwi_core.prices in
     problem := p;
-    state := Xwi_core.init_with_prices ?pool p ~prices
+    state := Xwi_core.init_with_prices ?pool p ~prices;
+    apply_diag ()
   in
   let scheme =
     {
@@ -41,5 +56,5 @@ let make_with_prices ?(params = Xwi_core.default_params)
   in
   (scheme, fun () -> Array.copy !state.Xwi_core.prices)
 
-let make ?params ?interval ?trace ?pool problem =
-  fst (make_with_prices ?params ?interval ?trace ?pool problem)
+let make ?params ?interval ?trace ?pool ?diag problem =
+  fst (make_with_prices ?params ?interval ?trace ?pool ?diag problem)

@@ -206,6 +206,13 @@ type sparse_workspace = {
   s_count0 : int array;  (* n_links; initial active counts (static per inc) *)
   s_bottleneck : int array;  (* n_flows *)
   s_fair_share : float array;  (* n_flows *)
+  (* Diagnostics of the last solve, read by [Nf_num.Diag]. Ints are
+     immediate; the final fill level lives in a 1-element float array
+     because a mutable float field of this mixed record would box on
+     every store in the hot loop. *)
+  mutable s_stat_rounds : int;
+  mutable s_stat_saturated : int;
+  s_stat_level : float array;  (* length 1 *)
 }
 
 let sparse_workspace (inc : Incidence.t) =
@@ -228,7 +235,16 @@ let sparse_workspace (inc : Incidence.t) =
     s_count0 = count0;
     s_bottleneck = Array.make n_flows (-1);
     s_fair_share = Array.make n_flows 0.;
+    s_stat_rounds = 0;
+    s_stat_saturated = 0;
+    s_stat_level = Array.make 1 0.;
   }
+
+let sparse_rounds ws = ws.s_stat_rounds
+
+let sparse_saturated_links ws = ws.s_stat_saturated
+
+let sparse_level ws = ws.s_stat_level.(0)
 
 let[@nf.hot] solve_sparse ws (inc : Incidence.t)
     ~(weights : Incidence.vec) ~(rates : Incidence.vec) =
@@ -277,6 +293,8 @@ let[@nf.hot] solve_sparse ws (inc : Incidence.t)
       incr n_live
     end
   done;
+  ws.s_stat_rounds <- 0;
+  ws.s_stat_saturated <- 0;
   let level = ref 0. in
   let n_active = ref n_flows in
   while !n_active > 0 do
@@ -358,6 +376,8 @@ let[@nf.hot] solve_sparse ws (inc : Incidence.t)
       (* The argmin link still had at least one unfrozen flow, so some
          freeze must have happened; the loop variant holds. *)
       assert (!n_round > 0);
+      ws.s_stat_rounds <- ws.s_stat_rounds + 1;
+      ws.s_stat_saturated <- ws.s_stat_saturated + !n_sat;
       n_active := !n_active - !n_round;
       if !n_active > 0 then
         for r = 0 to !n_round - 1 do
@@ -373,7 +393,8 @@ let[@nf.hot] solve_sparse ws (inc : Incidence.t)
           done
         done
     end
-  done
+  done;
+  ws.s_stat_level.(0) <- !level
 
 let is_maxmin ?(tol = 1e-6) ~caps ~paths ~weights rates =
   validate ~caps ~paths ~weights;

@@ -68,6 +68,18 @@ val solve_sparse :
     mutating {!Problem.caps} must {!Incidence.sync_caps} first). Inputs
     are assumed validated (strictly positive weights and capacities). *)
 
+val sparse_rounds : sparse_workspace -> int
+(** Water-fill rounds of the last {!solve_sparse} on this workspace (each
+    round raises the fill level to the next saturating link). Diagnostic;
+    1 at the xWI fixpoint. *)
+
+val sparse_saturated_links : sparse_workspace -> int
+(** Links that saturated across all rounds of the last {!solve_sparse}
+    (i.e. bottleneck links actually constraining the allocation). *)
+
+val sparse_level : sparse_workspace -> float
+(** Final fair-share fill level of the last {!solve_sparse}. *)
+
 val is_maxmin : ?tol:float -> caps:float array -> paths:int array array ->
   weights:float array -> float array -> bool
 (** Check (up to relative tolerance [tol], default 1e-6) that an allocation

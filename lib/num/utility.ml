@@ -1,11 +1,26 @@
+(* The [shape] field mirrors the closure fields for the built-in
+   analytic utilities so hot solver loops can evaluate U' / U'^-1 with
+   inline unboxed float arithmetic ([deriv_fast] / [rate_from_price_fast]
+   below). An indirect closure call from native code boxes both the float
+   argument and the float result, which is the dominant allocation in the
+   sparse xWI step; the shape dispatch keeps everything in registers.
+   [Power.inv_alpha] precomputes [-1 /. alpha] with the exact expression
+   the closure uses so the fast path is bit-identical to the closure. *)
+type shape =
+  | Log of { weight : float }
+  | Power of { weight : float; alpha : float; walpha : float; inv_alpha : float }
+  | Opaque
+
 type t = {
   name : string;
   value : float -> float;
   deriv : float -> float;
   inv_deriv : float -> float;
+  shape : shape;
 }
 
-let make ~name ~value ~deriv ~inv_deriv = { name; value; deriv; inv_deriv }
+let make ~name ~value ~deriv ~inv_deriv =
+  { name; value; deriv; inv_deriv; shape = Opaque }
 
 let min_rate = 1e-12
 
@@ -19,6 +34,7 @@ let alpha_fair ?(weight = 1.) ~alpha () =
       value = (fun x -> weight *. log (Float.max x min_rate));
       deriv = (fun x -> weight /. Float.max x min_rate);
       inv_deriv = (fun p -> weight /. p);
+      shape = Log { weight };
     }
   else begin
     let walpha = weight ** alpha in
@@ -28,6 +44,7 @@ let alpha_fair ?(weight = 1.) ~alpha () =
         (fun x -> walpha *. ((Float.max x min_rate) ** (1. -. alpha)) /. (1. -. alpha));
       deriv = (fun x -> walpha *. ((Float.max x min_rate) ** -.alpha));
       inv_deriv = (fun p -> weight *. (p ** (-1. /. alpha)));
+      shape = Power { weight; alpha; walpha; inv_alpha = -1. /. alpha };
     }
   end
 
@@ -61,5 +78,20 @@ let rate_from_price u ?max_rate p =
      flows is all that matters for weights, so a huge finite cap is safe. *)
   let rate = if Float.is_finite rate then Float.min rate max_rate_cap else max_rate_cap in
   match max_rate with None -> rate | Some m -> Float.min rate m
+
+let[@inline] deriv_fast u x =
+  match u.shape with
+  | Log { weight } -> weight /. Float.max x min_rate
+  | Power { walpha; alpha; _ } -> walpha *. ((Float.max x min_rate) ** -.alpha)
+  | Opaque -> u.deriv x
+
+let[@inline] rate_from_price_fast u p =
+  let rate =
+    match u.shape with
+    | Log { weight } -> weight /. Float.max p min_price
+    | Power { weight; inv_alpha; _ } -> weight *. ((Float.max p min_price) ** inv_alpha)
+    | Opaque -> u.inv_deriv (Float.max p min_price)
+  in
+  if Float.is_finite rate then Float.min rate max_rate_cap else max_rate_cap
 
 let pp ppf u = Format.pp_print_string ppf u.name

@@ -12,11 +12,25 @@
     induced allocation of a NUM problem does not depend on the unit as long
     as it is used consistently. *)
 
+type shape = private
+  | Log of { weight : float }
+      (** [U'(x) = w/x]: α-fair with [α = 1] (proportional fairness). *)
+  | Power of { weight : float; alpha : float; walpha : float; inv_alpha : float }
+      (** [U'(x) = w^α x^(-α)]: α-fair with [α <> 1]. [walpha = w^α] and
+          [inv_alpha = -1/α] are precomputed with the exact expressions
+          the closure fields use, so the fast evaluators below are
+          bit-identical to the closures. *)
+  | Opaque  (** Custom utility from {!make}: only the closures exist. *)
+(** Analytic shape of the built-in utilities, letting hot solver loops
+    evaluate [U'] / [U'^-1] with inline unboxed arithmetic instead of a
+    closure call (which boxes the float argument and result). *)
+
 type t = private {
   name : string;
   value : float -> float;  (** [U(x)], for [x > 0] *)
   deriv : float -> float;  (** [U'(x)], positive and decreasing *)
   inv_deriv : float -> float;  (** [U'^-1(p)], for [p > 0] *)
+  shape : shape;  (** Analytic shape; {!Opaque} for custom utilities. *)
 }
 
 val make :
@@ -58,6 +72,10 @@ val fct_remaining : remaining:float -> eps:float -> t
     utility evaluated at the flow's current remaining size; senders
     re-derive it as the flow drains. *)
 
+val min_rate : float
+(** Floor (1e-12) applied to rates before evaluating [U'] — {!deriv}
+    diverges at 0 and measured rates can transiently be 0. *)
+
 val min_price : float
 (** Floor applied to path prices before inverting the marginal utility
     (1e-300 — guards division by zero only; any larger floor would impose
@@ -75,5 +93,15 @@ val rate_from_price : t -> ?max_rate:float -> float -> float
     {!max_rate_cap} and optionally clamped to [max_rate]. This is the safe
     form of Eqs. 3 and 7 used by DGD senders and by xWI's weight
     computation. *)
+
+val deriv_fast : t -> float -> float
+(** [U'(x)] via the {!shape} dispatch: bit-identical to [u.deriv x] for
+    the built-in utilities but allocation-free (the closure call would box
+    argument and result). Falls back to the closure for {!Opaque}. *)
+
+val rate_from_price_fast : t -> float -> float
+(** [rate_from_price u p] (no [max_rate] clamp) via the {!shape}
+    dispatch: bit-identical to the closure path but allocation-free for
+    the built-in utilities. *)
 
 val pp : Format.formatter -> t -> unit

@@ -16,6 +16,11 @@ let m_converged =
   Metrics.counter Metrics.global ~help:"xWI solver runs that converged"
     "nf_xwi_converged_total"
 
+let m_nonconverged =
+  Metrics.counter Metrics.global
+    ~help:"xWI solver runs that hit their iteration cap"
+    "nf_xwi_nonconverged_total"
+
 let m_iterations =
   Metrics.histogram Metrics.global
     ~help:"Iterations per xWI solver run"
@@ -26,6 +31,37 @@ let trace_iter tr iter =
   if Trace.on tr Trace.XwiIter then
     Trace.emit tr Trace.XwiIter ~subject:0 ~time:(float_of_int iter)
       (float_of_int iter)
+
+(* Local copies of {!Utility.deriv_fast} / {!Utility.rate_from_price_fast}.
+   Dev-profile builds compile with -opaque, which disables cross-unit
+   inlining, and a non-inlined float -> float call boxes argument and
+   result — per flow, per step. Keeping the shape dispatch in this unit
+   makes the hot loops allocation-free under every build profile.
+   Bit-identical to the Utility versions (equivalence is tested). *)
+
+let[@inline] fmax (a : float) b = if a >= b then a else b
+
+let[@inline] udv_fast u x =
+  match u.Utility.shape with
+  | Utility.Log { weight } -> weight /. fmax x Utility.min_rate
+  | Utility.Power { walpha; alpha; _ } ->
+    walpha *. (fmax x Utility.min_rate ** -.alpha)
+  | Utility.Opaque -> u.Utility.deriv x
+
+let[@inline] urate_fast u p =
+  let rate =
+    match u.Utility.shape with
+    | Utility.Log { weight } -> weight /. fmax p Utility.min_price
+    | Utility.Power { weight; inv_alpha; _ } ->
+      weight *. (fmax p Utility.min_price ** inv_alpha)
+    | Utility.Opaque -> u.Utility.inv_deriv (fmax p Utility.min_price)
+  in
+  (* [rate < inf && rate > -inf] is [Float.is_finite] spelled with
+     comparison primitives (NaN fails both); same cap semantics as
+     [Utility.rate_from_price]. *)
+  if rate < infinity && rate > neg_infinity then
+    if rate <= Utility.max_rate_cap then rate else Utility.max_rate_cap
+  else Utility.max_rate_cap
 
 (* Per-state scratch: one allocation at [init], zero per [step]. The
    [v_*] fields are the unboxed float64 working set of the sparse step
@@ -59,6 +95,7 @@ type state = {
   mutable rates : float array;
   mutable weights : float array;
   mutable pool : Nf_util.Shard.t option;
+  mutable diag : Diag.t option;
   buffers : buffers;
 }
 
@@ -254,7 +291,7 @@ let[@nf.hot] flow_weights_sparse (utils : Utility.t array) (inc : Incidence.t)
     for i = 0 to inc.Incidence.n_flows - 1 do
       let u = Array.unsafe_get utils i in
       let w =
-        Utility.rate_from_price u (Bigarray.Array1.unsafe_get path_prices i)
+        urate_fast u (Bigarray.Array1.unsafe_get path_prices i)
       in
       Bigarray.Array1.unsafe_set out i (Float.max w 1e-30)
     done
@@ -268,7 +305,8 @@ let[@nf.hot] flow_weights_sparse (utils : Utility.t array) (inc : Incidence.t)
       if stop - start = 1 then begin
         let i = Array.unsafe_get grp_flows start in
         let w =
-          Utility.rate_from_price u (Bigarray.Array1.unsafe_get path_prices i)
+          urate_fast u
+            (Bigarray.Array1.unsafe_get path_prices i)
         in
         Bigarray.Array1.unsafe_set out i (Float.max w 1e-30)
       end
@@ -287,7 +325,8 @@ let[@nf.hot] flow_weights_sparse (utils : Utility.t array) (inc : Incidence.t)
         for k = start to stop - 1 do
           let i = Array.unsafe_get grp_flows k in
           let total =
-            Utility.rate_from_price u (Bigarray.Array1.unsafe_get path_prices i)
+            urate_fast u
+              (Bigarray.Array1.unsafe_get path_prices i)
           in
           let share =
             if y > 1e-12 then Bigarray.Array1.unsafe_get prev_rates i /. y
@@ -315,7 +354,8 @@ let[@nf.hot] residuals_sparse (inc : Incidence.t) bufs =
   for g = 0 to inc.Incidence.n_groups - 1 do
     let u = Array.unsafe_get utils g in
     Bigarray.Array1.unsafe_set group_marginal g
-      (u.Utility.deriv (Float.max (Bigarray.Array1.unsafe_get group_rates g) 1e-12))
+      (udv_fast u
+         (Float.max (Bigarray.Array1.unsafe_get group_rates g) 1e-12))
   done;
   let group_of_flow = inc.Incidence.group_of_flow in
   (* [* inv_len] instead of the legacy [/ len]: up to an ulp apart when
@@ -375,9 +415,13 @@ let[@nf.hot] price_links_range params (inc : Incidence.t) bufs lo hi =
         if !count = 0 then infinity else !sum /. float_of_int !count
     in
     let p_old = Bigarray.Array1.unsafe_get prices l in
+    (* [Fcmp.clamp ~lo:0. ~hi:1.] spelled in-unit: the cross-library
+       call boxes its float argument and result — one box per link per
+       step under -opaque builds. Identical on the reachable domain
+       ([load >= 0], [caps > 0], so [r] is never NaN). *)
     let utilization =
-      Nf_util.Fcmp.clamp ~lo:0. ~hi:1.
-        (load /. Bigarray.Array1.unsafe_get caps l)
+      let r = load /. Bigarray.Array1.unsafe_get caps l in
+      if r > 0. then if r <= 1. then r else 1. else 0.
     in
     let p_new =
       if Float.is_finite min_res then
@@ -398,9 +442,22 @@ let price_update_sparse problem params state =
   residuals_sparse inc bufs;
   match state.pool with
   | None -> price_links_range params inc bufs 0 inc.Incidence.n_links
-  | Some pool ->
-    Nf_util.Shard.run pool ~n:inc.Incidence.n_links (fun lo hi ->
-        price_links_range params inc bufs lo hi)
+  | Some pool -> (
+    match state.diag with
+    | None ->
+      Nf_util.Shard.run pool ~n:inc.Incidence.n_links (fun lo hi ->
+          price_links_range params inc bufs lo hi)
+    | Some d ->
+      Nf_util.Shard.run ~timings:(Diag.shard_timings d) pool
+        ~n:inc.Incidence.n_links (fun lo hi ->
+          price_links_range params inc bufs lo hi))
+
+(* Auto-attach diagnostics when the process-wide [--diag] config is
+   active; otherwise states start undiagnosed ([set_diag] can attach
+   one explicitly). *)
+let attach_diag problem =
+  Diag.attach ~n_links:(Problem.n_links problem)
+    ~n_flows:(Problem.n_flows problem)
 
 let init ?pool problem =
   let rates = equal_weight_rates problem in
@@ -410,6 +467,7 @@ let init ?pool problem =
     rates;
     weights = Array.make (Problem.n_flows problem) 1.;
     pool;
+    diag = attach_diag problem;
     buffers = make_buffers problem;
   }
 
@@ -423,6 +481,7 @@ let init_with_prices ?pool problem ~prices =
       rates;
       weights = Array.make (Problem.n_flows problem) 1.;
       pool;
+      diag = attach_diag problem;
       buffers = make_buffers problem;
     }
   in
@@ -439,6 +498,10 @@ let init_with_prices ?pool problem ~prices =
 
 let set_pool state pool = state.pool <- pool
 
+let set_diag state diag = state.diag <- diag
+
+let diag state = state.diag
+
 (* One iteration over the sparse working set: load the mirrors into the
    vecs, compute path prices once, weights, max-min rates, the (possibly
    domain-sharded) price update, then store the vecs back into the public
@@ -448,6 +511,9 @@ let set_pool state pool = state.pool <- pool
 let step problem params state =
   let inc = Problem.incidence problem in
   let bufs = state.buffers in
+  (match state.diag with
+  | None -> ()
+  | Some d -> Diag.begin_iter d ~prices:state.prices ~rates:state.rates);
   (* Dynamic experiments mutate [Problem.caps] between iterations. *)
   Incidence.sync_caps inc (Problem.caps problem);
   Incidence.vec_of_array_into state.prices bufs.v_prices;
@@ -460,13 +526,44 @@ let step problem params state =
   price_update_sparse problem params state;
   Incidence.vec_to_array bufs.v_prices state.prices;
   Incidence.vec_to_array bufs.v_rates state.rates;
-  Incidence.vec_to_array bufs.v_weights state.weights
+  Incidence.vec_to_array bufs.v_weights state.weights;
+  match state.diag with
+  | None -> ()
+  | Some d ->
+    let ws = bufs.b_maxmin_sparse in
+    let shard_chunks =
+      match state.pool with
+      | None -> 0
+      | Some pool -> Nf_util.Shard.jobs pool
+    in
+    Diag.observe d ~prices:state.prices ~rates:state.rates
+      ~wf_rounds:(Maxmin.sparse_rounds ws)
+      ~wf_level:(Maxmin.sparse_level ws)
+      ~wf_saturated:(Maxmin.sparse_saturated_links ws)
+      ~shard_chunks
 
 type run = { iterations : int; converged : bool }
 
-let finish_run run =
+(* [residual] is the run's final convergence metric (relative fixpoint
+   delta or KKT residual, per the entry point): it rides on the
+   [XwiNonconverged] trace event and overrides the postmortem's meta
+   residual, so a capped run's forensics carry the number the caller was
+   actually iterating on. *)
+let finish_run state ~residual run =
   Metrics.incr m_runs;
-  if run.converged then Metrics.incr m_converged;
+  if run.converged then Metrics.incr m_converged
+  else begin
+    Metrics.incr m_nonconverged;
+    let tr = Trace.default () in
+    if Trace.on tr Trace.XwiNonconverged then
+      Trace.emit tr Trace.XwiNonconverged ~subject:0
+        ~time:(float_of_int run.iterations)
+        ~aux:(float_of_int run.iterations)
+        residual;
+    match state.diag with
+    | None -> ()
+    | Some d -> Diag.dump_auto ~final_residual:residual d ~converged:false
+  end;
   Metrics.observe m_iterations (float_of_int run.iterations);
   run
 
@@ -476,8 +573,14 @@ let run_to_fixpoint ?(tol = 1e-10) ?(max_iters = 50_000) problem params state =
   let tr = Trace.default () in
   let old_prices = state.buffers.b_old_prices
   and old_rates = state.buffers.b_old_rates in
+  (* Residual of the most recent iteration, for [finish_run] forensics at
+     the cap (where the in-loop [delta] of the capped iteration is out of
+     scope). *)
+  let last_delta = ref infinity in
   let rec loop iter =
-    if iter >= max_iters then finish_run { iterations = iter; converged = false }
+    if iter >= max_iters then
+      finish_run state ~residual:!last_delta
+        { iterations = iter; converged = false }
     else begin
       Array.blit state.prices 0 old_prices 0 n_links;
       Array.blit state.rates 0 old_rates 0 n_flows;
@@ -492,7 +595,10 @@ let run_to_fixpoint ?(tol = 1e-10) ?(max_iters = 50_000) problem params state =
         let scale = Float.max (Float.abs old_rates.(i)) 1e-30 in
         delta := Float.max !delta (Float.abs (state.rates.(i) -. old_rates.(i)) /. scale)
       done;
-      if !delta < tol then finish_run { iterations = iter + 1; converged = true }
+      last_delta := !delta;
+      if !delta < tol then
+        finish_run state ~residual:!delta
+          { iterations = iter + 1; converged = true }
       else loop (iter + 1)
     end
   in
@@ -502,13 +608,17 @@ let run_until_kkt ?(tol = 1e-6) ?(check_every = 10) ?(max_iters = 50_000) proble
     params state =
   Nf_util.Profile.time "xwi-solve" @@ fun () ->
   let tr = Trace.default () in
+  let worst = ref infinity in
   let optimal () =
-    Kkt.worst (Kkt.check problem ~rates:state.rates ~prices:state.prices) <= tol
+    worst :=
+      Kkt.worst (Kkt.check problem ~rates:state.rates ~prices:state.prices);
+    !worst <= tol
   in
   let rec loop iter =
-    if optimal () then finish_run { iterations = iter; converged = true }
+    if optimal () then
+      finish_run state ~residual:!worst { iterations = iter; converged = true }
     else if iter >= max_iters then
-      finish_run { iterations = iter; converged = false }
+      finish_run state ~residual:!worst { iterations = iter; converged = false }
     else begin
       let chunk = Stdlib.min check_every (max_iters - iter) in
       for k = 1 to chunk do

@@ -39,22 +39,35 @@ type state = {
   mutable pool : Nf_util.Shard.t option;
       (** when set, {!step}'s per-link price update is sharded across the
           pool's domains; results are byte-identical for every job count *)
+  mutable diag : Diag.t option;
+      (** when set, every {!step} records a {!Diag} iteration sample
+          (residual norms, water-fill stats, shard timings) and a capped
+          run dumps a postmortem; [None] costs one [match] per step *)
   buffers : buffers;
 }
 
 val init : ?pool:Nf_util.Shard.t -> Problem.t -> state
 (** Initial state: prices seeded from the marginal utilities at the
     equal-weight max-min allocation (so the first weight computation is
-    well-scaled), rates at that allocation. *)
+    well-scaled), rates at that allocation. When a process-wide
+    {!Diag.configure}d config is active (the CLI's [--diag]), the state
+    auto-attaches a fresh {!Diag.t}. *)
 
 val init_with_prices : ?pool:Nf_util.Shard.t -> Problem.t -> prices:float array -> state
 (** Start from given prices (e.g. carried over across a flow-arrival event
-    in dynamic scenarios); rates start at the induced allocation. *)
+    in dynamic scenarios); rates start at the induced allocation.
+    Auto-attaches a {!Diag.t} like {!init}. *)
 
 val set_pool : state -> Nf_util.Shard.t option -> unit
 (** Attach or detach a domain pool for the sharded price update. The pool
     is borrowed: the caller owns its lifetime and must not {!Nf_util.Shard.stop}
     it while the state is stepping. *)
+
+val set_diag : state -> Diag.t option -> unit
+(** Attach or detach per-iteration diagnostics. The instance must be
+    sized for the state's problem ([n_links]/[n_flows]). *)
+
+val diag : state -> Diag.t option
 
 val flow_weights : Problem.t -> prices:float array -> prev_rates:float array -> float array
 (** Eq. 7 plus the §6.3 multipath split; all weights strictly positive. *)
@@ -84,7 +97,15 @@ type run = { iterations : int; converged : bool }
 val run_to_fixpoint :
   ?tol:float -> ?max_iters:int -> Problem.t -> params -> state -> run
 (** Iterate until the largest relative change of any price and rate falls
-    below [tol] (default 1e-10) or [max_iters] (default 50_000) is hit. *)
+    below [tol] (default 1e-10) or [max_iters] (default 50_000) is hit.
+
+    Every run increments [nf_xwi_runs_total] and observes
+    [nf_xwi_iterations]; a converged run increments
+    [nf_xwi_converged_total]. A capped run increments
+    [nf_xwi_nonconverged_total], emits an [XwiNonconverged] trace event
+    carrying the final residual and iteration count, and — if the state
+    carries a {!Diag.t} — dumps a JSONL postmortem via
+    {!Diag.dump_auto}. *)
 
 val run_until_kkt :
   ?tol:float -> ?check_every:int -> ?max_iters:int -> Problem.t -> params -> state -> run

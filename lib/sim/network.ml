@@ -120,11 +120,11 @@ let trace t = t.trace
 (* Link transmission machinery *)
 
 let rec try_transmit t ls =
-  if not ls.busy then begin
-    match ls.qdisc.Queue_disc.dequeue () with
-    | None -> ()
-    | Some pkt ->
-      ls.engine.Price_engine.on_dequeue pkt;
+  (* [packet_count] then [dequeue_exn] rather than [dequeue]: the option
+     wrapper would allocate once per transmitted packet. *)
+  if (not ls.busy) && ls.qdisc.Queue_disc.packet_count () > 0 then begin
+    let pkt = ls.qdisc.Queue_disc.dequeue_exn () in
+    ls.engine.Price_engine.on_dequeue pkt;
       ls.busy <- true;
       ls.delivered <- ls.delivered +. float_of_int pkt.Packet.size;
       if Trace.on t.trace Trace.Dequeue then

@@ -1,10 +1,13 @@
 type t = {
   enqueue : Packet.t -> bool;
   dequeue : unit -> Packet.t option;
+  dequeue_exn : unit -> Packet.t;
   byte_length : unit -> int;
   packet_count : unit -> int;
   drops : unit -> int;
 }
+
+let empty_queue () = invalid_arg "Queue_disc.dequeue_exn: empty queue"
 
 let default_limit_bytes = 1_000_000
 
@@ -24,16 +27,20 @@ let fifo_generic ~limit_bytes ~on_enqueue =
       true
     end
   in
-  let dequeue () =
-    match Queue.take_opt q with
-    | None -> None
-    | Some p ->
+  let dequeue_exn () =
+    match Queue.take q with
+    | p ->
       bytes := !bytes - p.Packet.size;
-      Some p
+      p
+    | exception Queue.Empty -> empty_queue ()
+  in
+  let dequeue () =
+    if Queue.is_empty q then None else Some (dequeue_exn ())
   in
   {
     enqueue;
     dequeue;
+    dequeue_exn;
     byte_length = (fun () -> !bytes);
     packet_count = (fun () -> Queue.length q);
     drops = (fun () -> !dropped);
@@ -62,8 +69,27 @@ let stfq ?(limit_bytes = default_limit_bytes) () =
   let heap : Packet.t Nf_util.Fheap.t =
     Nf_util.Fheap.create ~capacity:64 ~dummy:stfq_dummy ()
   in
-  let finish_tags : (int, float) Hashtbl.t = Hashtbl.create 64 in
-  let virtual_time = ref 0. in
+  (* Finish tags live in a flat float array indexed by flow id (grown
+     geometrically on demand): unlike a [(int, float) Hashtbl.t], reading
+     and writing never boxes the float. The default 0. matches the old
+     missing-key semantics. [virtual_time] is a 1-element array for the
+     same reason — [float ref] assignment allocates a box per store. *)
+  let finish_tags = ref (Array.make 64 0.) in
+  let ensure_flow fl =
+    if fl < 0 then invalid_arg "Queue_disc.stfq: negative flow id";
+    let tags = !finish_tags in
+    let n = Array.length tags in
+    if fl >= n then begin
+      let n' = ref (2 * n) in
+      while fl >= !n' do
+        n' := 2 * !n'
+      done;
+      let grown = Array.make !n' 0. in
+      Array.blit tags 0 grown 0 n;
+      finish_tags := grown
+    end
+  in
+  let virtual_time = [| 0. |] in
   let bytes = ref 0 in
   let dropped = ref 0 in
   let[@nf.hot] enqueue p =
@@ -72,32 +98,31 @@ let stfq ?(limit_bytes = default_limit_bytes) () =
       false
     end
     else begin
-      let prev_finish =
-        match Hashtbl.find_opt finish_tags p.Packet.flow with
-        | Some f -> f
-        | None -> 0.
-      in
-      let start_tag = Float.max !virtual_time prev_finish in
-      Hashtbl.replace finish_tags p.Packet.flow
-        (start_tag +. p.Packet.virtual_packet_len);
+      let fl = p.Packet.flow in
+      ensure_flow fl;
+      let tags = !finish_tags in
+      let start_tag = Float.max virtual_time.(0) tags.(fl) in
+      tags.(fl) <- start_tag +. p.Packet.virtual_packet_len;
       Nf_util.Fheap.push heap ~key:start_tag ~aux:0 p;
       bytes := !bytes + p.Packet.size;
       true
     end
   in
-  let[@nf.hot] dequeue () =
-    if Nf_util.Fheap.is_empty heap then None
-    else begin
-      virtual_time := Nf_util.Fheap.top_key heap;
-      let p = Nf_util.Fheap.top heap in
-      Nf_util.Fheap.drop heap;
-      bytes := !bytes - p.Packet.size;
-      Some p
-    end
+  let[@nf.hot] dequeue_exn () =
+    if Nf_util.Fheap.is_empty heap then empty_queue ();
+    virtual_time.(0) <- Nf_util.Fheap.top_key heap;
+    let p = Nf_util.Fheap.top heap in
+    Nf_util.Fheap.drop heap;
+    bytes := !bytes - p.Packet.size;
+    p
+  in
+  let dequeue () =
+    if Nf_util.Fheap.is_empty heap then None else Some (dequeue_exn ())
   in
   {
     enqueue;
     dequeue;
+    dequeue_exn;
     byte_length = (fun () -> !bytes);
     packet_count = (fun () -> Nf_util.Fheap.length heap);
     drops = (fun () -> !dropped);
@@ -189,9 +214,13 @@ let pfabric ?(limit_bytes = default_limit_bytes) () =
         remove_entry e;
         Some e.p)
   in
+  let dequeue_exn () =
+    match dequeue () with Some p -> p | None -> empty_queue ()
+  in
   {
     enqueue;
     dequeue;
+    dequeue_exn;
     byte_length = (fun () -> !bytes);
     packet_count = (fun () -> List.length !entries);
     drops = (fun () -> !dropped);

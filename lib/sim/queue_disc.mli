@@ -18,6 +18,11 @@ type t = {
   enqueue : Packet.t -> bool;
     (** [false] if the packet was dropped instead of queued *)
   dequeue : unit -> Packet.t option;
+  dequeue_exn : unit -> Packet.t;
+    (** Like [dequeue] but raises [Invalid_argument] on an empty queue
+        instead of allocating an option. The transmit loop checks
+        [packet_count () > 0] first and calls this; on {!stfq} the pair
+        is allocation-free. *)
   byte_length : unit -> int;
   packet_count : unit -> int;
   drops : unit -> int;  (** cumulative *)

@@ -45,7 +45,11 @@ let grow h =
   Array.blit h.data 0 data 0 h.size;
   h.data <- data
 
-let[@nf.hot] push h ~key ~aux v =
+(* [@inline] on [push]/[top_*]: without it, callers passing a computed
+   float key (or consuming the float result) box it at the call boundary
+   — the only allocation left on these paths. Inlining keeps the key in a
+   register; the closure-converted body itself never allocates. *)
+let[@nf.hot] [@inline] push h ~key ~aux v =
   if h.size = Array.length h.keys then grow h;
   let seq = h.next_seq in
   h.next_seq <- seq + 1;
@@ -74,15 +78,15 @@ let[@nf.hot] push h ~key ~aux v =
 let check_nonempty h op =
   if h.size = 0 then invalid_arg (Printf.sprintf "Fheap.%s: empty heap" op)
 
-let[@nf.hot] top_key h =
+let[@nf.hot] [@inline] top_key h =
   check_nonempty h "top_key";
   h.keys.(0)
 
-let[@nf.hot] top_aux h =
+let[@nf.hot] [@inline] top_aux h =
   check_nonempty h "top_aux";
   h.auxs.(0)
 
-let[@nf.hot] top h =
+let[@nf.hot] [@inline] top h =
   check_nonempty h "top";
   h.data.(0)
 

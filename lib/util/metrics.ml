@@ -136,14 +136,36 @@ let num v =
   if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
   else Printf.sprintf "%.17g" v
 
-let bound_label b = if Float.is_integer b then Printf.sprintf "%.0f" b else Printf.sprintf "%g" b
+(* Bucket bounds use the same formatting as every other float sample
+   ([num]): [%g] would round non-representable bounds (0.1 ->
+   "0.1" vs the stored 0.10000000000000001), so the Prometheus [le]
+   labels and the JSON bucket bounds would not round-trip to the exact
+   bound the histogram cuts on. *)
+let bound_label = num
 
 let to_prometheus t =
   let buf = Buffer.create 1024 in
+  (* Prometheus text format: HELP text must escape backslash and line
+     feed, or a multi-line help string breaks the exposition page. *)
+  let escape_help s =
+    if String.exists (fun c -> Char.equal c '\n' || Char.equal c '\\') s then begin
+      let b = Buffer.create (String.length s + 8) in
+      String.iter
+        (fun c ->
+          match c with
+          | '\n' -> Buffer.add_string b "\\n"
+          | '\\' -> Buffer.add_string b "\\\\"
+          | c -> Buffer.add_char b c)
+        s;
+      Buffer.contents b
+    end
+    else s
+  in
   List.iter
     (fun m ->
       if m.help <> "" then
-        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" m.name m.help);
+        Buffer.add_string buf
+          (Printf.sprintf "# HELP %s %s\n" m.name (escape_help m.help));
       Buffer.add_string buf
         (Printf.sprintf "# TYPE %s %s\n" m.name (kind_label m.value));
       (match m.value with

@@ -68,8 +68,19 @@ let time name f =
   if not !enabled_flag then f ()
   else begin
     let id = intern name in
-    let t0 = now () in
-    Fun.protect ~finally:(fun () -> record_cat id (now () -. t0)) f
+    if Gcstats.enabled () then begin
+      let t0 = now () in
+      let b0 = Gcstats.bytes () in
+      Fun.protect
+        ~finally:(fun () ->
+          Gcstats.record id (Gcstats.bytes () -. b0);
+          record_cat id (now () -. t0))
+        f
+    end
+    else begin
+      let t0 = now () in
+      Fun.protect ~finally:(fun () -> record_cat id (now () -. t0)) f
+    end
   end
 
 let categories () =

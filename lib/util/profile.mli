@@ -42,7 +42,9 @@ val record : string -> float -> unit
 
 val time : string -> (unit -> 'a) -> 'a
 (** [time cat f] runs [f ()], accounting its wall time under [cat] when
-    profiling is enabled (also on exceptions). *)
+    profiling is enabled (also on exceptions). When {!Gcstats.enabled}
+    additionally holds, the allocated-bytes delta of [f] is recorded
+    under the same category via {!Gcstats.record}. *)
 
 val categories : unit -> (string * int * float) list
 (** (category, calls, total seconds), most expensive first. *)

@@ -12,7 +12,9 @@ type t = {
   mutex : Mutex.t;
   start : Condition.t;
   finish : Condition.t;
-  mutable body : int -> int -> unit;  (* current kernel: [body lo hi] *)
+  mutable body : int -> int -> int -> unit;
+      (* current kernel: [body k lo hi] with [k] the chunk index (worker
+         [w] runs chunk [w + 1]; the caller runs chunk 0) *)
   bounds : (int * int) array;  (* chunk per worker, this epoch *)
   mutable epoch : int;  (* bumped by [run]; wakes the workers *)
   mutable pending : int;  (* workers still inside the current epoch *)
@@ -38,7 +40,7 @@ let worker t w =
       let body = t.body in
       Mutex.unlock t.mutex;
       let error =
-        match body lo hi with
+        match body (w + 1) lo hi with
         | () -> None
         | exception e -> Some e
       in
@@ -62,7 +64,7 @@ let create ~jobs =
       mutex = Mutex.create ();
       start = Condition.create ();
       finish = Condition.create ();
-      body = (fun _ _ -> ());
+      body = (fun _ _ _ -> ());
       bounds = Array.make (Stdlib.max 1 (jobs - 1)) (0, 0);
       epoch = 0;
       pending = 0;
@@ -74,16 +76,28 @@ let create ~jobs =
   t.domains <- Array.init (jobs - 1) (fun w -> Domain.spawn (fun () -> worker t w));
   t
 
-let run t ~n f =
+let run ?timings t ~n f =
   if n < 0 then invalid_arg "Shard.run: negative range";
-  if t.jobs = 1 || n <= 1 then f 0 n
+  (* Chunk-indexed wrapper: with [timings], chunk [k]'s wall time lands in
+     [timings.(k)] ([Profile.now] reads only; results are untouched, so
+     byte-identity across job counts is preserved). *)
+  let body =
+    match timings with
+    | None -> fun _ lo hi -> f lo hi
+    | Some ts ->
+      fun k lo hi ->
+        let t0 = Profile.now () in
+        f lo hi;
+        if k < Array.length ts then ts.(k) <- Profile.now () -. t0
+  in
+  if t.jobs = 1 || n <= 1 then body 0 0 n
   else begin
     Mutex.lock t.mutex;
     if t.stopping then begin
       Mutex.unlock t.mutex;
       invalid_arg "Shard.run: pool is stopped"
     end;
-    t.body <- f;
+    t.body <- body;
     for w = 0 to t.jobs - 2 do
       (* Worker [w] takes chunk [w + 1]; the calling domain runs chunk 0
          itself while the workers are busy. *)
@@ -96,7 +110,7 @@ let run t ~n f =
     Mutex.unlock t.mutex;
     let own_error =
       let lo, hi = chunk ~n ~jobs:t.jobs 0 in
-      match f lo hi with
+      match body 0 lo hi with
       | () -> None
       | exception e -> Some e
     in
@@ -106,7 +120,7 @@ let run t ~n f =
     done;
     let worker_error = t.failed in
     t.failed <- None;
-    t.body <- (fun _ _ -> ());
+    t.body <- (fun _ _ _ -> ());
     Mutex.unlock t.mutex;
     (* The caller's own chunk failing wins (it failed first from the
        caller's perspective); either way every worker has finished, so the

@@ -23,12 +23,19 @@ val chunk : n:int -> jobs:int -> int -> (int * int)
 (** [chunk ~n ~jobs k] is the [lo, hi)] range of the [k]-th of [jobs]
     contiguous chunks of [0, n)] — exposed for tests. *)
 
-val run : t -> n:int -> (int -> int -> unit) -> unit
+val run : ?timings:float array -> t -> n:int -> (int -> int -> unit) -> unit
 (** [run t ~n f] executes [f lo hi] over a partition of [0, n)]: chunk 0
     on the calling domain, the rest on the workers; returns when all
     chunks are done. If any chunk raises, the first exception (caller's
     chunk taking precedence) is re-raised after every worker has
     finished, so the pool stays reusable.
+
+    With [timings], chunk [k]'s wall-clock seconds are written to
+    [timings.(k)] (entries beyond the chunk count, or chunks beyond
+    [Array.length timings], are left untouched; on the serial fast path
+    everything runs as chunk 0). Timing adds two clock reads per chunk
+    and never affects results, so byte-identity across job counts holds
+    with or without it.
     @raise Invalid_argument on a stopped pool or negative [n]. *)
 
 val stop : t -> unit

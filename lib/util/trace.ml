@@ -10,6 +10,8 @@ type kind =
   | FlowStart
   | FlowDone
   | XwiIter
+  | XwiResidual
+  | XwiNonconverged
 
 let kind_index = function
   | Enqueue -> 0
@@ -23,6 +25,8 @@ let kind_index = function
   | FlowStart -> 8
   | FlowDone -> 9
   | XwiIter -> 10
+  | XwiResidual -> 11
+  | XwiNonconverged -> 12
 
 let kind_name = function
   | Enqueue -> "enqueue"
@@ -36,6 +40,8 @@ let kind_name = function
   | FlowStart -> "flow_start"
   | FlowDone -> "flow_done"
   | XwiIter -> "xwi_iter"
+  | XwiResidual -> "xwi_residual"
+  | XwiNonconverged -> "xwi_nonconverged"
 
 let all_kinds =
   [
@@ -50,6 +56,8 @@ let all_kinds =
     FlowStart;
     FlowDone;
     XwiIter;
+    XwiResidual;
+    XwiNonconverged;
   ]
 
 type event = {

@@ -26,6 +26,13 @@ type kind =
   | FlowStart  (** sender starts; subject = flow *)
   | FlowDone  (** flow completed; subject = flow; value = fct *)
   | XwiIter  (** one xWI iteration; subject = solver instance *)
+  | XwiResidual
+      (** per-iteration solver diagnostic (emitted under [--diag]);
+          subject = solver instance, time = iteration index, value = max
+          relative price/rate residual, aux = max absolute price delta *)
+  | XwiNonconverged
+      (** an xWI run hit its iteration cap; subject = solver instance,
+          time/aux = iterations performed, value = final residual *)
 
 val kind_name : kind -> string
 (** Lower-snake name used in the JSONL output ("enqueue", ...,

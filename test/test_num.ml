@@ -693,6 +693,192 @@ let test_sharded_long_run_bit_identical () =
         (bits_equal base.Xwi.rates s.Xwi.rates))
     [ 2; 3; 4; 7 ]
 
+(* ------------------------------------------------------------------ *)
+(* Utility fast paths, sparse solve statistics, and solver diagnostics *)
+
+module Diag = Nf_num.Diag
+module Metrics = Nf_util.Metrics
+module Trace = Nf_util.Trace
+
+let test_utility_fast_paths_bitwise () =
+  (* The shape-dispatch evaluators must be *bit-identical* to the closure
+     fields: xWI's sparse hot path uses the fast forms while the legacy
+     dense path keeps the closures, and the repo's determinism guarantee
+     (-j N byte-identical to -j 1, dense matches sparse) rests on the two
+     agreeing exactly. *)
+  let utilities =
+    [
+      Utility.proportional_fair ();
+      Utility.alpha_fair ~weight:3.5 ~alpha:1. ();
+      Utility.alpha_fair ~weight:2. ~alpha:2. ();
+      Utility.alpha_fair ~weight:0.25 ~alpha:0.5 ();
+      Utility.fct ~size:1e6 ~eps:0.125;
+      Utility.make ~name:"custom" ~value:sqrt
+        ~deriv:(fun x -> 0.5 /. sqrt x)
+        ~inv_deriv:(fun p -> 0.25 /. (p *. p));
+    ]
+  in
+  let points = [ 0.; 1e-30; 1e-9; 0.5; 1.; 3.25; 1e9; 1e300 ] in
+  let bits = Int64.bits_of_float in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun x ->
+          Alcotest.(check int64)
+            (Printf.sprintf "%s: deriv_fast(%g)" u.Utility.name x)
+            (bits (u.Utility.deriv x))
+            (bits (Utility.deriv_fast u x));
+          Alcotest.(check int64)
+            (Printf.sprintf "%s: rate_from_price_fast(%g)" u.Utility.name x)
+            (bits (Utility.rate_from_price u x))
+            (bits (Utility.rate_from_price_fast u x)))
+        points)
+    utilities
+
+let test_maxmin_sparse_stats () =
+  (* Parking lot: one long flow over both links, one short per link. Both
+     links saturate; stats from the last solve must reflect that. *)
+  let caps = [| 1.; 1. |] in
+  let paths = [| [| 0; 1 |]; [| 0 |]; [| 1 |] |] in
+  let inc =
+    Incidence.create ~caps ~paths ~group_of_flow:[| 0; 1; 2 |] ~n_groups:3
+  in
+  let weights = Incidence.vec_of_array [| 1.; 1.; 1. |] in
+  let rates = Incidence.vec 3 in
+  let ws = Maxmin.sparse_workspace inc in
+  Maxmin.solve_sparse ws inc ~weights ~rates;
+  Alcotest.(check bool) "rounds >= 1" true (Maxmin.sparse_rounds ws >= 1);
+  Alcotest.(check int) "both links saturated" 2
+    (Maxmin.sparse_saturated_links ws);
+  Alcotest.(check bool) "final level positive" true
+    (Maxmin.sparse_level ws > 0.)
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let diag_problem () =
+  (* Two-link parking lot with proportional fairness: converges in tens
+     of iterations at the default tolerance, never in three. *)
+  let caps = [| 1.; 1. |] in
+  let groups =
+    [
+      Problem.single_path (Utility.proportional_fair ()) [| 0; 1 |];
+      Problem.single_path (Utility.proportional_fair ()) [| 0 |];
+      Problem.single_path (Utility.proportional_fair ()) [| 1 |];
+    ]
+  in
+  Problem.create ~caps ~groups
+
+let test_diag_observe_and_report () =
+  let p = diag_problem () in
+  let state = Xwi.init p in
+  let d = Diag.create ~capacity:8 ~n_links:2 ~n_flows:3 () in
+  Xwi.set_diag state (Some d);
+  let run = Xwi.run_to_fixpoint ~tol:1e-10 p Xwi.default_params state in
+  Alcotest.(check bool) "converged" true run.Xwi.converged;
+  Alcotest.(check int) "every iteration observed" run.Xwi.iterations
+    (Diag.iterations d);
+  let samples = Diag.samples d in
+  Alcotest.(check bool) "ring non-empty" true (samples <> []);
+  Alcotest.(check bool) "ring bounded by capacity" true
+    (List.length samples <= 8);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "residual finite and non-negative" true
+        (s.Diag.s_residual >= 0. && Float.is_finite s.Diag.s_residual);
+      Alcotest.(check bool) "wf rounds positive" true (s.Diag.s_wf_rounds >= 1);
+      Alcotest.(check bool) "saturated links in range" true
+        (s.Diag.s_wf_saturated >= 0 && s.Diag.s_wf_saturated <= 2))
+    samples;
+  (let iters = List.map (fun s -> s.Diag.s_iter) samples in
+   Alcotest.(check (list int)) "samples oldest-first" (List.sort compare iters)
+     iters);
+  let r = Diag.report d in
+  Alcotest.(check int) "report iterations" run.Xwi.iterations
+    r.Diag.r_iterations;
+  Alcotest.(check bool) "final residual below tol" true
+    (r.Diag.r_final_residual <= 1e-10);
+  (* The ε ladder tightens left to right, so first-hit iterations must be
+     non-decreasing (ignoring never-reached entries). *)
+  let prev = ref 0 in
+  Array.iter
+    (fun (eps, it) ->
+      if it >= 0 then begin
+        Alcotest.(check bool)
+          (Printf.sprintf "eps %g reached no earlier than looser eps" eps)
+          true (it >= !prev);
+        prev := it
+      end)
+    r.Diag.r_to_eps;
+  Alcotest.(check bool) "tightest default eps reached" true
+    (let n = Array.length r.Diag.r_to_eps in
+     n > 0 && snd r.Diag.r_to_eps.(n - 1) >= 1);
+  List.iter
+    (fun (l, delta) ->
+      Alcotest.(check bool) "worst link id in range" true (l >= 0 && l < 2);
+      Alcotest.(check bool) "worst link delta non-negative" true (delta >= 0.))
+    (Diag.worst_links d);
+  let json = Diag.report_to_json r in
+  Alcotest.(check bool) "report json mentions iterations" true
+    (contains ~needle:"\"iterations\"" json)
+
+let test_diag_postmortem_on_nonconvergence () =
+  let dir =
+    let f = Filename.temp_file "nf_diag_test" "" in
+    Sys.remove f;
+    Sys.mkdir f 0o700;
+    f
+  in
+  let sink = Trace.make ~kinds:[ Trace.XwiNonconverged ] () in
+  let saved = Trace.default () in
+  Trace.set_default sink;
+  Diag.configure (Some (Diag.default_config ~dir));
+  let nonconverged =
+    Metrics.counter Metrics.global "nf_xwi_nonconverged_total"
+  in
+  let before = Metrics.counter_value nonconverged in
+  Fun.protect
+    ~finally:(fun () ->
+      Diag.configure None;
+      Trace.set_default saved)
+    (fun () ->
+      let p = diag_problem () in
+      let state = Xwi.init p in
+      Alcotest.(check bool) "diag auto-attached under config" true
+        (match Xwi.diag state with Some _ -> true | None -> false);
+      let run = Xwi.run_to_fixpoint ~max_iters:3 p Xwi.default_params state in
+      Alcotest.(check bool) "capped run did not converge" false
+        run.Xwi.converged;
+      Alcotest.(check int) "nonconverged counter incremented" (before + 1)
+        (Metrics.counter_value nonconverged);
+      Alcotest.(check int) "one postmortem written" 1
+        (Diag.postmortems_written ());
+      Alcotest.(check bool) "XwiNonconverged trace event emitted" true
+        (List.exists
+           (fun e -> e.Trace.kind = Trace.XwiNonconverged)
+           (Trace.events sink));
+      let path = Filename.concat dir "xwi_postmortem_0000.jsonl" in
+      Alcotest.(check bool) "postmortem file exists" true
+        (Sys.file_exists path);
+      let contents = read_file path in
+      Alcotest.(check bool) "postmortem says non-converged" true
+        (contains ~needle:"\"converged\":false" contents);
+      Alcotest.(check bool) "postmortem names worst links" true
+        (contains ~needle:"\"kind\":\"worst_links\"" contents);
+      Alcotest.(check bool) "postmortem carries iteration samples" true
+        (contains ~needle:"\"kind\":\"iter\"" contents));
+  (* A second configure resets the sequence counter. *)
+  Alcotest.(check int) "configure resets counter" 0
+    (Diag.postmortems_written ())
+
 let () =
   Alcotest.run "nf_num"
     [
@@ -775,5 +961,13 @@ let () =
           qcheck prop_sparse_step_matches_reference;
           qcheck prop_sharded_prices_bit_identical;
           quick "long-run shard byte-identity" test_sharded_long_run_bit_identical;
+        ] );
+      ( "diag",
+        [
+          quick "utility fast paths bitwise" test_utility_fast_paths_bitwise;
+          quick "sparse maxmin stats" test_maxmin_sparse_stats;
+          quick "observe and report" test_diag_observe_and_report;
+          quick "postmortem on non-convergence"
+            test_diag_postmortem_on_nonconvergence;
         ] );
     ]

@@ -98,6 +98,71 @@ let test_stfq_per_flow_order () =
   done;
   Alcotest.(check bool) "packets of one flow stay in order" true !ok
 
+let test_dequeue_exn_matches_dequeue () =
+  (* [dequeue_exn] is the allocation-free twin the transmit loop uses:
+     same service order as [dequeue], Invalid_argument on empty. *)
+  List.iter
+    (fun (name, make_q) ->
+      let q = make_q () in
+      for i = 0 to 7 do
+        ignore
+          (q.Queue_disc.enqueue
+             (mk ~flow:(i mod 3) ~seq:i ~vpl:(500. *. float_of_int (1 + (i mod 4))) ())
+            : bool)
+      done;
+      let q' = make_q () in
+      for i = 0 to 7 do
+        ignore
+          (q'.Queue_disc.enqueue
+             (mk ~flow:(i mod 3) ~seq:i ~vpl:(500. *. float_of_int (1 + (i mod 4))) ())
+            : bool)
+      done;
+      for n = 1 to 8 do
+        match q.Queue_disc.dequeue () with
+        | None -> Alcotest.failf "%s: empty after %d services" name (n - 1)
+        | Some expected ->
+            let got = q'.Queue_disc.dequeue_exn () in
+            Alcotest.(check int)
+              (Printf.sprintf "%s: service %d same flow" name n)
+              expected.Packet.flow got.Packet.flow;
+            Alcotest.(check int)
+              (Printf.sprintf "%s: service %d same seq" name n)
+              expected.Packet.seq got.Packet.seq
+      done;
+      Alcotest.(check int)
+        (Printf.sprintf "%s: bytes drained" name)
+        0
+        (q'.Queue_disc.byte_length ());
+      Alcotest.check_raises
+        (Printf.sprintf "%s: dequeue_exn on empty" name)
+        (Invalid_argument "Queue_disc.dequeue_exn: empty queue")
+        (fun () -> ignore (q'.Queue_disc.dequeue_exn () : Packet.t)))
+    [
+      ("fifo", fun () -> Queue_disc.fifo ~limit_bytes:100_000 ());
+      ("ecn_fifo", fun () -> Queue_disc.ecn_fifo ~mark_threshold_bytes:3000 ());
+      ("stfq", fun () -> Queue_disc.stfq ());
+      ("pfabric", fun () -> Queue_disc.pfabric ~limit_bytes:100_000 ());
+    ]
+
+let test_stfq_flow_table_growth () =
+  (* STFQ's finish tags live in a growable array indexed by flow id; a
+     large id must grow the table, not crash, and ids never seen before
+     start at finish tag 0 (served at the current virtual time). *)
+  let q = Queue_disc.stfq () in
+  ignore (q.Queue_disc.enqueue (mk ~flow:0 ~seq:0 ~vpl:1500. ()) : bool);
+  ignore (q.Queue_disc.dequeue_exn () : Packet.t);
+  (* Flow 0 now owes virtual time (finish tag 1500); a brand-new large id
+     starts at tag 0 and must be served first. *)
+  ignore (q.Queue_disc.enqueue (mk ~flow:0 ~seq:1 ~vpl:1500. ()) : bool);
+  ignore (q.Queue_disc.enqueue (mk ~flow:5000 ~seq:0 ~vpl:1500. ()) : bool);
+  let first = q.Queue_disc.dequeue_exn () in
+  let second = q.Queue_disc.dequeue_exn () in
+  Alcotest.(check int) "new large flow id served first" 5000 first.Packet.flow;
+  Alcotest.(check int) "backlogged flow served second" 0 second.Packet.flow;
+  Alcotest.check_raises "negative flow id rejected"
+    (Invalid_argument "Queue_disc.stfq: negative flow id") (fun () ->
+      ignore (q.Queue_disc.enqueue (mk ~flow:(-1) ()) : bool))
+
 let test_pfabric_priority () =
   let q = Queue_disc.pfabric ~limit_bytes:6000 () in
   ignore (q.Queue_disc.enqueue (mk ~flow:0 ~seq:0 ~prio:9000. ()));
@@ -791,6 +856,8 @@ let () =
           quick "stfq ordering under weight change" test_stfq_weight_change_ordering;
           quick "fifo drop accounting" test_fifo_drop_accounting;
           quick "drops counter monotone" test_drops_counter_monotone;
+          quick "dequeue_exn matches dequeue" test_dequeue_exn_matches_dequeue;
+          quick "stfq flow-table growth" test_stfq_flow_table_growth;
         ] );
       ( "price_engine",
         [

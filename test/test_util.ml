@@ -810,6 +810,149 @@ let test_shard_stop_idempotent () =
     (Invalid_argument "Shard.run: pool is stopped") (fun () ->
       Shard.run pool ~n:4 (fun _ _ -> ()))
 
+(* ------------------------------------------------------------------ *)
+(* Gcstats: per-category allocation accounting and the alloc audit *)
+
+module Gcstats = Nf_util.Gcstats
+
+let test_gcstats_record_and_categories () =
+  Gcstats.reset ();
+  Gcstats.record 3 100.;
+  Gcstats.record 3 50.;
+  Gcstats.record 7 600.;
+  (match Gcstats.categories () with
+  | [ (c1, calls1, b1); (c2, calls2, b2) ] ->
+      Alcotest.(check int) "most-allocating first" 7 c1;
+      Alcotest.(check int) "one call" 1 calls1;
+      Alcotest.(check (float 0.)) "bytes" 600. b1;
+      Alcotest.(check int) "second category" 3 c2;
+      Alcotest.(check int) "two calls accumulated" 2 calls2;
+      Alcotest.(check (float 0.)) "bytes accumulated" 150. b2
+  | rows -> Alcotest.failf "expected 2 categories, got %d" (List.length rows));
+  Gcstats.reset ();
+  Alcotest.(check int) "reset clears" 0 (List.length (Gcstats.categories ()))
+
+let test_gcstats_publish_idempotent () =
+  let r = Metrics.create () in
+  Gcstats.publish ~registry:r ();
+  let minor = Metrics.counter r "nf_gc_minor_collections_total" in
+  let allocated = Metrics.counter r "nf_gc_allocated_bytes_total" in
+  let first = Metrics.counter_value allocated in
+  Alcotest.(check bool) "allocated bytes positive" true (first > 0);
+  Alcotest.(check bool) "minor collections non-negative" true
+    (Metrics.counter_value minor >= 0);
+  ignore (Sys.opaque_identity (Array.make 1024 0.) : float array);
+  Gcstats.publish ~registry:r ();
+  (* Counters are raised to process-lifetime totals: republishing must
+     keep them monotone, never double-count. *)
+  let second = Metrics.counter_value allocated in
+  Alcotest.(check bool) "monotone across publishes" true (second >= first);
+  Alcotest.(check bool) "heap gauge present and positive" true
+    (Metrics.gauge_value (Metrics.gauge r "nf_gc_heap_bytes") > 0.)
+
+let test_gcstats_bytes_per_iteration () =
+  let sink = ref [||] in
+  let allocating () =
+    sink := Sys.opaque_identity (Array.make 8 0.)
+  in
+  let b = Gcstats.bytes_per_iteration ~warmup:16 ~iters:2_000 allocating in
+  (* 8 floats + header = 72 bytes on 64-bit; quantization noise is
+     amortized over the iteration count. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "allocating loop measured (%.1f B/iter)" b)
+    true
+    (b >= 64. && b <= 96.);
+  let clean () = () in
+  let b0 = Gcstats.bytes_per_iteration ~warmup:16 ~iters:2_000 clean in
+  Alcotest.(check bool)
+    (Printf.sprintf "empty loop measures clean (%.3f B/iter)" b0)
+    true (Float.abs b0 <= 1.)
+
+let test_profile_time_feeds_gcstats () =
+  Profile.reset ();
+  Gcstats.reset ();
+  Profile.set_enabled true;
+  Gcstats.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Gcstats.set_enabled false;
+      Profile.set_enabled false;
+      Gcstats.reset ();
+      Profile.reset ())
+    (fun () ->
+      let sink = ref [||] in
+      let r =
+        Profile.time "gcstats_probe" (fun () ->
+            sink := Sys.opaque_identity (Array.make 4096 0.);
+            17)
+      in
+      Alcotest.(check int) "thunk result returned" 17 r;
+      let id = Profile.intern "gcstats_probe" in
+      match
+        List.find_opt (fun (c, _, _) -> c = id) (Gcstats.categories ())
+      with
+      | Some (_, calls, bytes) ->
+          Alcotest.(check int) "one call recorded" 1 calls;
+          Alcotest.(check bool) "allocation attributed to category" true
+            (bytes >= 4096. *. 8.)
+      | None -> Alcotest.fail "Profile.time did not record into Gcstats")
+
+let test_metrics_histogram_float_bounds () =
+  (* Non-representable bucket bounds must label with the exact stored
+     float ([%.17g]), not a rounded [%g], so the le labels round-trip to
+     the bound the histogram actually cuts on. *)
+  let r = Metrics.create () in
+  let h = Metrics.histogram r ~buckets:[ 0.1; 2.5 ] "cutover" in
+  List.iter (Metrics.observe h) [ 0.05; 1.; 7. ];
+  let page = Metrics.to_prometheus r in
+  let expect =
+    "# TYPE cutover histogram\n\
+     cutover_bucket{le=\"0.10000000000000001\"} 1\n\
+     cutover_bucket{le=\"2.5\"} 2\n\
+     cutover_bucket{le=\"+Inf\"} 3\n\
+     cutover_sum 8.0500000000000007\ncutover_count 3\n"
+  in
+  Alcotest.(check string) "exact float bound labels" expect page
+
+let test_metrics_help_escaping () =
+  let r = Metrics.create () in
+  let c =
+    Metrics.counter r ~help:"path C:\\tmp\nsecond line" "escape_total"
+  in
+  Metrics.incr c;
+  let page = Metrics.to_prometheus r in
+  let expect =
+    "# HELP escape_total path C:\\\\tmp\\nsecond line\n\
+     # TYPE escape_total counter\nescape_total 1\n"
+  in
+  Alcotest.(check string) "backslash and newline escaped" expect page;
+  (* Each metric still renders on its own lines: one HELP, one TYPE, one
+     sample — the raw newline must not have split the HELP line. *)
+  Alcotest.(check int) "exposition stays 3 lines" 3
+    (List.length
+       (List.filter (fun s -> s <> "") (String.split_on_char '\n' page)))
+
+let test_shard_run_timings () =
+  Shard.with_pool ~jobs:3 (fun pool ->
+      let timings = Array.make 3 nan in
+      Shard.run pool ~timings ~n:300 (fun lo hi ->
+          let s = ref 0. in
+          for i = lo to hi - 1 do
+            s := !s +. float_of_int i
+          done;
+          ignore (Sys.opaque_identity !s : float));
+      Array.iteri
+        (fun k dt ->
+          Alcotest.(check bool)
+            (Printf.sprintf "chunk %d timing filled and sane" k)
+            true
+            (Float.is_finite dt && dt >= 0.))
+        timings;
+      (* Entries beyond the chunk count are left untouched. *)
+      let short = Array.make 5 (-1.) in
+      Shard.run pool ~timings:short ~n:30 (fun _ _ -> ());
+      Alcotest.(check (float 0.)) "extra entries untouched" (-1.) short.(4))
+
 let quick name f = Alcotest.test_case name `Quick f
 
 let qcheck = QCheck_alcotest.to_alcotest
@@ -897,17 +1040,27 @@ let () =
           quick "counter and gauge" test_metrics_counter_gauge;
           quick "histogram" test_metrics_histogram;
           quick "prometheus exposition" test_metrics_prometheus;
+          quick "exact float bucket labels" test_metrics_histogram_float_bounds;
+          quick "help line escaping" test_metrics_help_escaping;
           quick "json and fold" test_metrics_json_and_fold;
         ] );
       ( "profile",
         [
           quick "accounting" test_profile_accounting;
           quick "disabled passthrough" test_profile_disabled_is_passthrough;
+          quick "feeds gcstats when enabled" test_profile_time_feeds_gcstats;
+        ] );
+      ( "gcstats",
+        [
+          quick "record and categories" test_gcstats_record_and_categories;
+          quick "publish idempotent" test_gcstats_publish_idempotent;
+          quick "bytes per iteration" test_gcstats_bytes_per_iteration;
         ] );
       ( "shard",
         [
           qcheck prop_shard_chunks_partition;
           quick "run covers and is reusable" test_shard_run_covers;
+          quick "chunk timings" test_shard_run_timings;
           quick "exceptions propagate" test_shard_exception_propagates;
           quick "stop is idempotent" test_shard_stop_idempotent;
         ] );

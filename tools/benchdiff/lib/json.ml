@@ -1,0 +1,251 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Fail of int * string
+(* position (byte offset), message — turned into line:column at the top. *)
+
+let fail pos msg = raise (Fail (pos, msg))
+
+let position_of_offset s pos =
+  let line = ref 1 and col = ref 1 in
+  let n = Stdlib.min pos (String.length s) in
+  for i = 0 to n - 1 do
+    if s.[i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col
+  done;
+  (!line, !col)
+
+(* ---- lexing helpers over (string, index ref) ---- *)
+
+let peek s i = if !i < String.length s then Some s.[!i] else None
+
+let skip_ws s i =
+  let n = String.length s in
+  while
+    !i < n
+    && match s.[!i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    incr i
+  done
+
+let expect s i c =
+  match peek s i with
+  | Some c' when c' = c -> incr i
+  | Some c' -> fail !i (Printf.sprintf "expected %C, found %C" c c')
+  | None -> fail !i (Printf.sprintf "expected %C, found end of input" c)
+
+let literal s i word value =
+  let n = String.length word in
+  if !i + n <= String.length s && String.sub s !i n = word then begin
+    i := !i + n;
+    value
+  end
+  else fail !i (Printf.sprintf "invalid literal (expected %s)" word)
+
+(* ---- strings ---- *)
+
+let utf8_of_code buf code =
+  (* Good enough for bench reports, which are ASCII; out-of-range or
+     surrogate codes become U+FFFD rather than an error. *)
+  let code =
+    if code >= 0xD800 && code <= 0xDFFF then 0xFFFD else code
+  in
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let hex_digit pos c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> fail pos "invalid \\u escape"
+
+let parse_string s i =
+  expect s i '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek s i with
+    | None -> fail !i "unterminated string"
+    | Some '"' -> incr i
+    | Some '\\' ->
+        incr i;
+        (match peek s i with
+        | None -> fail !i "unterminated escape"
+        | Some c ->
+            incr i;
+            (match c with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' ->
+                if !i + 4 > String.length s then fail !i "truncated \\u escape";
+                let code =
+                  (hex_digit !i s.[!i] lsl 12)
+                  lor (hex_digit (!i + 1) s.[!i + 1] lsl 8)
+                  lor (hex_digit (!i + 2) s.[!i + 2] lsl 4)
+                  lor hex_digit (!i + 3) s.[!i + 3]
+                in
+                i := !i + 4;
+                utf8_of_code buf code
+            | _ -> fail (!i - 1) "invalid escape character"));
+        go ()
+    | Some c when Char.code c < 0x20 -> fail !i "raw control character in string"
+    | Some c ->
+        incr i;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+(* ---- numbers ---- *)
+
+let parse_number s i =
+  let start = !i in
+  let n = String.length s in
+  let advance_while p = while !i < n && p s.[!i] do incr i done in
+  if peek s i = Some '-' then incr i;
+  advance_while (function '0' .. '9' -> true | _ -> false);
+  if peek s i = Some '.' then begin
+    incr i;
+    advance_while (function '0' .. '9' -> true | _ -> false)
+  end;
+  (match peek s i with
+  | Some ('e' | 'E') ->
+      incr i;
+      (match peek s i with Some ('+' | '-') -> incr i | _ -> ());
+      advance_while (function '0' .. '9' -> true | _ -> false)
+  | _ -> ());
+  let text = String.sub s start (!i - start) in
+  match float_of_string_opt text with
+  | Some v -> v
+  | None -> fail start (Printf.sprintf "invalid number %S" text)
+
+(* ---- values ---- *)
+
+let rec parse_value s i =
+  skip_ws s i;
+  match peek s i with
+  | None -> fail !i "unexpected end of input"
+  | Some 'n' -> literal s i "null" Null
+  | Some 't' -> literal s i "true" (Bool true)
+  | Some 'f' -> literal s i "false" (Bool false)
+  | Some '"' -> Str (parse_string s i)
+  | Some '[' -> parse_list s i
+  | Some '{' -> parse_obj s i
+  | Some ('-' | '0' .. '9') -> Num (parse_number s i)
+  | Some c -> fail !i (Printf.sprintf "unexpected character %C" c)
+
+and parse_list s i =
+  expect s i '[';
+  skip_ws s i;
+  if peek s i = Some ']' then begin
+    incr i;
+    List []
+  end
+  else begin
+    let items = ref [] in
+    let rec go () =
+      items := parse_value s i :: !items;
+      skip_ws s i;
+      match peek s i with
+      | Some ',' ->
+          incr i;
+          go ()
+      | Some ']' -> incr i
+      | _ -> fail !i "expected ',' or ']' in array"
+    in
+    go ();
+    List (List.rev !items)
+  end
+
+and parse_obj s i =
+  expect s i '{';
+  skip_ws s i;
+  if peek s i = Some '}' then begin
+    incr i;
+    Obj []
+  end
+  else begin
+    let bindings = ref [] in
+    let rec go () =
+      skip_ws s i;
+      let key = parse_string s i in
+      skip_ws s i;
+      expect s i ':';
+      let v = parse_value s i in
+      bindings := (key, v) :: !bindings;
+      skip_ws s i;
+      match peek s i with
+      | Some ',' ->
+          incr i;
+          go ()
+      | Some '}' -> incr i
+      | _ -> fail !i "expected ',' or '}' in object"
+    in
+    go ();
+    Obj (List.rev !bindings)
+  end
+
+let parse s =
+  let i = ref 0 in
+  match
+    let v = parse_value s i in
+    skip_ws s i;
+    if !i <> String.length s then fail !i "trailing garbage after document";
+    v
+  with
+  | v -> Ok v
+  | exception Fail (pos, msg) ->
+      let line, col = position_of_offset s pos in
+      Error (Printf.sprintf "line %d, column %d: %s" line col msg)
+
+let parse_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | contents -> (
+      match parse contents with
+      | Ok v -> Ok v
+      | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+  | exception Sys_error msg -> Error msg
+
+let member key = function
+  | Obj bindings -> List.assoc_opt key bindings
+  | _ -> None
+
+let to_num = function Num v -> Some v | _ -> None
+let to_str = function Str v -> Some v | _ -> None
+let to_list = function List v -> Some v | _ -> None
+let to_obj = function Obj v -> Some v | _ -> None
+
+let num_members = function
+  | Obj bindings ->
+      List.filter_map
+        (fun (k, v) -> match v with Num n -> Some (k, n) | _ -> None)
+        bindings
+  | _ -> []

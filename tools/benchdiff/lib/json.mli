@@ -1,0 +1,37 @@
+(** Minimal JSON reader for bench reports.
+
+    The repository deliberately has no JSON dependency; bench reports are
+    written by hand-rolled printers ([bench/main.ml], [Nf_util.Metrics])
+    and read back only here. This is a small recursive-descent parser for
+    exactly the JSON those printers emit (RFC 8259 minus surrogate-pair
+    decoding: [\uXXXX] escapes outside the BMP are kept as replacement
+    characters, which no report contains anyway). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document; trailing garbage is an error. The
+    error string carries a 1-based line:column position. *)
+
+val parse_file : string -> (t, string) result
+(** [parse] on the file's contents; I/O failures become [Error _]. *)
+
+(** {2 Accessors} — total, for picking fields out of parsed reports. *)
+
+val member : string -> t -> t option
+(** First binding of the key in an [Obj]; [None] on other constructors. *)
+
+val to_num : t -> float option
+val to_str : t -> string option
+val to_list : t -> t list option
+val to_obj : t -> (string * t) list option
+
+val num_members : t -> (string * float) list
+(** All [Num]-valued bindings of an [Obj], in document order; [[]] on
+    other constructors. Non-numeric bindings are skipped. *)
