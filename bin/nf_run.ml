@@ -556,7 +556,197 @@ let solve_cmd =
   in
   Cmd.v (Cmd.info "solve" ~doc) Term.(const run $ flows_arg $ alpha_arg $ seed_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve / serve-drive: the always-on allocation service and its
+   scripted churn client (DESIGN.md "Serve & delta API"). Both sides
+   build the same Scenario so the daemon's link set and the driver's
+   path pool agree. *)
+
+module Serve = Nf_serve
+
+let serve_port_arg =
+  let doc = "Loopback TCP port to listen on (0 picks an ephemeral port)." in
+  Arg.(value & opt int 7070 & info [ "port" ] ~docv:"PORT" ~doc)
+
+let serve_socket_arg =
+  let doc = "Listen on a Unix-domain socket at $(docv) instead of TCP." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let leaves_arg =
+  Arg.(value & opt int 8 & info [ "leaves" ] ~docv:"N" ~doc:"Leaf switches.")
+
+let spines_arg =
+  Arg.(value & opt int 4 & info [ "spines" ] ~docv:"N" ~doc:"Spine switches.")
+
+let per_leaf_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "servers-per-leaf" ] ~docv:"N" ~doc:"Servers per leaf.")
+
+let pool_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "pool" ] ~docv:"N" ~doc:"Candidate-path pool size.")
+
+let topo_seed_arg =
+  let doc = "Seed of the scenario's path pool (must match on both sides)." in
+  Arg.(value & opt int 42 & info [ "topo-seed" ] ~docv:"SEED" ~doc)
+
+let scenario_of ~leaves ~spines ~per_leaf ~pool ~topo_seed =
+  Serve.Scenario.leaf_spine ~n_leaves:leaves ~n_spines:spines
+    ~servers_per_leaf:per_leaf ~pool ~seed:topo_seed ()
+
+let serve_cmd =
+  let doc =
+    "Run the always-on allocation daemon: flow arrival/departure commands \
+     as line-delimited JSON, one warm-started xWI epoch per batch, \
+     Prometheus metrics on GET /metrics of the same port."
+  in
+  let tol_arg =
+    Arg.(
+      value & opt float 1e-6
+      & info [ "tol" ] ~docv:"TOL" ~doc:"Per-epoch KKT tolerance.")
+  in
+  let run port socket leaves spines per_leaf pool topo_seed tol =
+    let scenario = scenario_of ~leaves ~spines ~per_leaf ~pool ~topo_seed in
+    let engine = Serve.Engine.create ~tol ~caps:scenario.Serve.Scenario.caps () in
+    let addr =
+      match socket with
+      | Some path -> Serve.Server.Unix_sock path
+      | None -> Serve.Server.Tcp port
+    in
+    match Serve.Server.create ~engine addr with
+    | srv ->
+      (match (Serve.Server.port srv, socket) with
+      | Some p, _ -> Format.eprintf "nf_run serve: listening on 127.0.0.1:%d@." p
+      | None, Some path -> Format.eprintf "nf_run serve: listening on %s@." path
+      | None, None -> ());
+      Serve.Server.run srv;
+      let s = Serve.Engine.stats engine in
+      Format.eprintf
+        "nf_run serve: shut down after %d events in %d epochs (%d warm, %d \
+         cold); p99 time-to-new-allocation %.3f ms@."
+        s.Serve.Engine.total_events s.Serve.Engine.epochs
+        s.Serve.Engine.warm_epochs s.Serve.Engine.cold_epochs
+        (s.Serve.Engine.p99_latency *. 1e3)
+    | exception Unix.Unix_error (e, _, _) ->
+      Format.eprintf "nf_run serve: cannot bind: %s@." (Unix.error_message e);
+      exit 1
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ serve_port_arg $ serve_socket_arg $ leaves_arg $ spines_arg
+      $ per_leaf_arg $ pool_arg $ topo_seed_arg $ tol_arg)
+
+let serve_drive_cmd =
+  let doc =
+    "Drive a scripted churn trace (seeded flow arrivals/departures) \
+     against a running $(b,nf_run serve) daemon and report its \
+     allocation-latency stats."
+  in
+  let events_arg =
+    Arg.(value & opt int 500 & info [ "events" ] ~docv:"N" ~doc:"Churn events.")
+  in
+  let target_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "target" ] ~docv:"N" ~doc:"Standing flow population.")
+  in
+  let drive_seed_arg =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Churn seed.")
+  in
+  let scrape_arg =
+    Arg.(
+      value & flag
+      & info [ "scrape" ] ~doc:"Also scrape GET /metrics once (TCP only).")
+  in
+  let shutdown_arg =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ] ~doc:"Send a shutdown command when done.")
+  in
+  let field_num fields name =
+    match List.assoc_opt name fields with
+    | Some v -> Option.value (Serve.Sjson.to_float v) ~default:Float.nan
+    | None -> Float.nan
+  in
+  let run port socket leaves spines per_leaf pool topo_seed events target seed
+      scrape shutdown =
+    let scenario = scenario_of ~leaves ~spines ~per_leaf ~pool ~topo_seed in
+    let client =
+      match socket with
+      | Some path -> Serve.Client.connect_unix path
+      | None -> Serve.Client.connect_tcp port
+    in
+    let rng = Nf_util.Rng.create ~seed in
+    (match Serve.Client.drive client ~rng ~scenario ~events ~target with
+    | Error reason ->
+      Format.eprintf "nf_run serve-drive: drive failed: %s@." reason;
+      exit 1
+    | Ok rep -> (
+      match Serve.Client.request client Serve.Protocol.Stats with
+      | Error reason ->
+        Format.eprintf "nf_run serve-drive: stats failed: %s@." reason;
+        exit 1
+      | Ok fields ->
+        Format.printf
+          "@[<v>drove %d events (%d arrivals, %d departures)@,\
+           server: %.0f epochs (%.0f warm, %.0f cold) over %.0f events@,\
+           iterations: %.0f warm total, %.0f cold total@,\
+           time-to-new-allocation: p50 %.3f ms, p99 %.3f ms, mean %.3f ms@]@."
+          rep.Serve.Client.driven rep.Serve.Client.arrivals
+          rep.Serve.Client.departures (field_num fields "epochs")
+          (field_num fields "warm_epochs")
+          (field_num fields "cold_epochs")
+          (field_num fields "events")
+          (field_num fields "warm_iters")
+          (field_num fields "cold_iters")
+          (field_num fields "p50_latency" *. 1e3)
+          (field_num fields "p99_latency" *. 1e3)
+          (field_num fields "mean_latency" *. 1e3)));
+    if scrape then begin
+      match Serve.Client.scrape_metrics port with
+      | Ok body ->
+        let has_serve_metrics =
+          let re = "nf_serve_epochs_total" in
+          let n = String.length body and m = String.length re in
+          let rec find i =
+            i + m <= n && (String.equal (String.sub body i m) re || find (i + 1))
+          in
+          find 0
+        in
+        if not has_serve_metrics then begin
+          Format.eprintf
+            "nf_run serve-drive: scrape has no nf_serve_epochs_total@.";
+          exit 1
+        end;
+        Format.printf "(metrics scrape ok: %d bytes)@." (String.length body)
+      | Error reason ->
+        Format.eprintf "nf_run serve-drive: scrape failed: %s@." reason;
+        exit 1
+    end;
+    if shutdown then
+      ignore (Serve.Client.request client Serve.Protocol.Shutdown);
+    Serve.Client.close client
+  in
+  Cmd.v (Cmd.info "serve-drive" ~doc)
+    Term.(
+      const run $ serve_port_arg $ serve_socket_arg $ leaves_arg $ spines_arg
+      $ per_leaf_arg $ pool_arg $ topo_seed_arg $ events_arg $ target_arg
+      $ drive_seed_arg $ scrape_arg $ shutdown_arg)
+
 let () =
   let doc = "NUMFabric (SIGCOMM 2016) reproduction toolkit" in
   let info = Cmd.info "nf_run" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; exp_cmd; all_cmd; proto_cmd; solve_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd;
+            exp_cmd;
+            all_cmd;
+            proto_cmd;
+            solve_cmd;
+            serve_cmd;
+            serve_drive_cmd;
+          ]))

@@ -38,12 +38,16 @@ let run ~pooling =
   done;
   let before = scheme.Scheme.rates () in
   let flow_totals rates =
-    if pooling then Problem.group_rates problem ~rates
+    if pooling then begin
+      let gr = Array.make (Problem.n_groups problem) 0. in
+      Problem.group_rates_into problem ~rates gr;
+      gr
+    end
     else [| rates.(0) +. rates.(1); rates.(2) +. rates.(3) |]
   in
   let before = flow_totals before in
   (* Upgrade the middle link mid-run; the scheme reads live capacities. *)
-  (Problem.caps problem).(tl.Builders.middle) <- Nf_util.Units.gbps 17.;
+  Problem.set_cap problem tl.Builders.middle (Nf_util.Units.gbps 17.);
   for _ = 1 to 200 do
     scheme.Scheme.step ()
   done;

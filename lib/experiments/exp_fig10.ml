@@ -42,23 +42,24 @@ let run ?(alpha = 5.) ?(switch_at = 5e-3) ?(duration = 10e-3) () =
   let n_iters = int_of_float (ceil (duration /. interval)) in
   let switch_iter = int_of_float (ceil (switch_at /. interval)) in
   let before = ref (0., 0.) in
+  let r = Array.make (Problem.n_groups problem) 0. in
+  let sample () =
+    Problem.group_rates_into problem ~rates:(scheme.Nf_fluid.Scheme.rates ()) r
+  in
   for k = 0 to n_iters - 1 do
     if k = switch_iter then begin
-      before :=
-        (let r = Problem.group_rates problem ~rates:(scheme.Nf_fluid.Scheme.rates ()) in
-         (r.(0), r.(1)));
-      (Problem.caps problem).(tl.Builders.middle) <- gbps 17.
+      sample ();
+      before := (r.(0), r.(1));
+      Problem.set_cap problem tl.Builders.middle (gbps 17.)
     end;
     scheme.Nf_fluid.Scheme.step ();
-    let r = Problem.group_rates problem ~rates:(scheme.Nf_fluid.Scheme.rates ()) in
+    sample ();
     let time = float_of_int (k + 1) *. interval in
     Nf_util.Timeseries.add series1 ~time r.(0);
     Nf_util.Timeseries.add series2 ~time r.(1)
   done;
-  let final =
-    let r = Problem.group_rates problem ~rates:(scheme.Nf_fluid.Scheme.rates ()) in
-    (r.(0), r.(1))
-  in
+  sample ();
+  let final = (r.(0), r.(1)) in
   {
     series1;
     series2;

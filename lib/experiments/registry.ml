@@ -127,6 +127,15 @@ let () =
            ~seed:(Ctx.rng_seed ctx ~default:4)
            ~n_events:(Ctx.scaled ctx ~floor:5 25)
            ()));
+  register ~name:"churn"
+    ~description:"warm-started re-solves under flow churn (serve path)"
+    (fun ctx ->
+      Exp_churn.report
+        (Exp_churn.run
+           ~seed:(Ctx.rng_seed ctx ~default:42)
+           ~prelude:(Ctx.scaled ctx ~floor:60 300)
+           ~arrivals:(Ctx.scaled ctx ~floor:3 10)
+           ()));
   register ~name:"scale"
     ~description:"large-fabric convergence: k=16 fat tree, 100k+ ECMP flows"
     (fun ctx ->

@@ -61,6 +61,8 @@ let group_targets (_ : Nf_num.Problem.t) target = Array.copy target
 let measure_groups ?criteria scheme ~problem ~target =
   let observed () =
     let p = problem () in
-    Nf_num.Problem.group_rates p ~rates:(scheme.Scheme.rates_view ())
+    let gr = Array.make (Nf_num.Problem.n_groups p) 0. in
+    Nf_num.Problem.group_rates_into p ~rates:(scheme.Scheme.rates_view ()) gr;
+    gr
   in
   measure_generic ?criteria scheme ~target ~observed

@@ -60,13 +60,14 @@ let make_with_prices ?(params = default_params) ?(interval = default_interval)
    done);
   let queues = Array.make n_links 0. in
   (* bytes *)
+  let loads = Array.make n_links 0. in
   let rates = ref (compute_rates !problem ~prices) in
   let step () =
     let p = !problem in
     let caps = Problem.caps p in
     let x = compute_rates p ~prices in
     rates := x;
-    let loads = Problem.link_loads p ~rates:x in
+    Problem.link_loads_into p ~rates:x loads;
     for l = 0 to n_links - 1 do
       let excess = loads.(l) -. caps.(l) in
       queues.(l) <- Float.max 0. (queues.(l) +. (excess *. interval /. 8.));

@@ -40,13 +40,14 @@ let make_with_fair_rates ?(params = default_params)
   in
   let queues = Array.make n_links 0. in
   (* bytes *)
+  let loads = Array.make n_links 0. in
   let rates = ref (compute_rates !problem ~alpha ~fair_rates) in
   let step () =
     let p = !problem in
     let caps = Problem.caps p in
     let x = compute_rates p ~alpha ~fair_rates in
     rates := x;
-    let loads = Problem.link_loads p ~rates:x in
+    Problem.link_loads_into p ~rates:x loads;
     for l = 0 to n_links - 1 do
       let excess = loads.(l) -. caps.(l) in
       queues.(l) <- Float.max 0. (queues.(l) +. (excess *. interval /. 8.));

@@ -15,7 +15,8 @@ let check ?(used_threshold = 1e-6) problem ~rates ~prices =
   if Array.length rates <> n_flows then invalid_arg "Kkt.check: rates length";
   if Array.length prices <> n_links then invalid_arg "Kkt.check: prices length";
   let caps = Problem.caps problem in
-  let loads = Problem.link_loads problem ~rates in
+  let loads = Array.make n_links 0. in
+  Problem.link_loads_into problem ~rates loads;
   let stationarity = ref 0. and unused_direction = ref 0. in
   for i = 0 to n_flows - 1 do
     let g = Problem.flow_group problem i in

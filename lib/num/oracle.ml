@@ -9,9 +9,11 @@ type solution = {
 exception Did_not_converge of string
 
 let make_solution problem ~rates ~prices ~iterations =
+  let group_rates = Array.make (Problem.n_groups problem) 0. in
+  Problem.group_rates_into problem ~rates group_rates;
   {
     rates;
-    group_rates = Problem.group_rates problem ~rates;
+    group_rates;
     prices;
     iterations;
     kkt = Kkt.check problem ~rates ~prices;
@@ -63,10 +65,11 @@ let solve_dual ?(tol = 1e-8) ?(max_iters = 300_000) problem =
   let obj = ref (dual_objective problem ~prices) in
   let iterations = ref 0 in
   let converged = ref false in
+  let loads = Array.make n_links 0. in
   while (not !converged) && !iterations < max_iters do
     incr iterations;
     let rates = rates_of_prices problem ~prices in
-    let loads = Problem.link_loads problem ~rates in
+    Problem.link_loads_into problem ~rates loads;
     let grad = Array.init n_links (fun l -> caps.(l) -. loads.(l)) in
     (* Backtracking projected gradient step. *)
     let accepted = ref false in

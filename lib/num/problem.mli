@@ -7,7 +7,29 @@
     Single-path flows are singleton groups; multipath (resource-pooling)
     flows are groups with one member per sub-flow path (row 4 of Table 1).
     Flows and groups are indexed densely so that algorithms can work with
-    flat float arrays ([rates.(flow)], [prices.(link)]). *)
+    flat float arrays ([rates.(flow)], [prices.(link)]).
+
+    {2 Delta interface}
+
+    A problem is no longer frozen at {!create}: groups arrive with
+    {!add_group} and depart with {!remove_group}, which is how the
+    always-on allocation service ([nf_run serve]) tracks per-flow churn.
+    Mutations are cheap — they tombstone or append a ledger entry — and
+    the dense index arrays plus the sparse {!Incidence.t} are recompiled
+    {e lazily} at the next read, so a batch of N events followed by one
+    solve costs one rebuild, not N.
+
+    Two id spaces coexist:
+    - {e gids} (returned by {!add_group}) are stable handles that survive
+      compaction; use them to name groups across events.
+    - {e dense ids} (groups [0 .. n_groups-1], flows [0 .. n_flows-1])
+      are the solver-facing indices. They are only stable between
+      topology mutations: any {!add_group}/{!remove_group} may renumber
+      them at the next commit. {!generation} changes whenever dense ids
+      may have moved; map gid → dense with {!group_index}.
+
+    Solver state sized for a problem snapshot must be rebuilt (e.g.
+    [Xwi_core.resize]) after {!generation} changes. *)
 
 type group_spec = {
   utility : Utility.t;
@@ -21,7 +43,76 @@ type t
 
 val create : caps:float array -> groups:group_spec list -> t
 (** @raise Invalid_argument on empty paths, out-of-range link ids,
-    non-positive capacities, or an empty group list. *)
+    non-positive capacities, or an empty group list. Initial groups get
+    gids [0 .. n-1] in list order. *)
+
+val create_groups : caps:float array -> groups:group_spec array -> t
+(** Array fast path of {!create}, shared by the batch builders and the
+    delta layer (both compile through one construction route). Unlike
+    {!create}, an empty [groups] array is allowed: the service starts
+    idle and populates the problem via {!add_group}. *)
+
+(** {2 Delta operations} *)
+
+val add_group : t -> group_spec -> int
+(** Append a group; returns its stable gid. The dense arrays are not
+    recompiled until the next read (lazy commit). Paths are validated
+    (and copied) immediately.
+    @raise Invalid_argument on an invalid spec. *)
+
+val remove_group : t -> int -> unit
+(** Tombstone the group with the given gid; it is dropped (and dense ids
+    compacted) at the next commit.
+    @raise Invalid_argument on an unknown or already-removed gid. *)
+
+val mem_group : t -> int -> bool
+(** Whether the gid names a live (not removed) group. *)
+
+val group_index : t -> int -> int option
+(** Dense group id of a gid (commits first). [None] after removal. *)
+
+val group_gid : t -> int -> int
+(** Stable gid of dense group [g] (commits first). *)
+
+val commit : t -> unit
+(** Force the lazy recompile now (compaction + dense rebuild + fresh
+    {!Incidence.t}). No-op when nothing changed. Reads commit implicitly;
+    call this to control when the O(flows + nnz) rebuild happens. *)
+
+val dirty : t -> bool
+(** Uncommitted ledger changes pending. *)
+
+val generation : t -> int
+(** Topology generation: bumped by every commit that recompiled. Solver
+    state caching the incidence or dense ids is stale once this moves. *)
+
+(** {2 Capacities} *)
+
+val caps : t -> float array
+(** The live capacity array. Mutating it directly is allowed (Figure 10
+    changes link speeds mid-run) but must be followed by {!touch_caps} —
+    or use {!set_cap}, which does both — so that kernels gating their
+    incidence cap refresh on {!cap_generation} notice the change. *)
+
+val set_cap : t -> int -> float -> unit
+(** [set_cap t l c] updates link [l]'s capacity and bumps
+    {!cap_generation}. @raise Invalid_argument on a bad id or [c <= 0]. *)
+
+val touch_caps : t -> unit
+(** Announce direct writes into {!caps}: bumps {!cap_generation}. *)
+
+val cap_generation : t -> int
+(** Bumped by {!set_cap}/{!touch_caps}. *)
+
+val sync_caps : t -> unit
+(** Refresh the incidence's capacity vec from {!caps} iff
+    {!cap_generation} moved since the last sync (a stale-check, not a
+    copy, in the steady state). Sparse kernels call this once per step;
+    it replaces the easy-to-forget [Incidence.sync_caps]. *)
+
+(** {2 Compiled-snapshot accessors}
+
+    All of these commit pending deltas first. *)
 
 val n_links : t -> int
 
@@ -29,11 +120,6 @@ val n_flows : t -> int
 (** Total sub-flow count. *)
 
 val n_groups : t -> int
-
-val caps : t -> float array
-(** The live capacity array. Mutating it is allowed and is how dynamic
-    experiments change link speeds (Figure 10); algorithms read it on
-    every iteration. *)
 
 val flow_path : t -> int -> int array
 
@@ -55,25 +141,27 @@ val paths : t -> int array array
     per-iteration solvers can avoid rebuilding the routing structure. *)
 
 val incidence : t -> Incidence.t
-(** The sparse CSR/CSC index structure, built once at {!create}. Shared,
-    read-only for callers. Kernels that cache it across iterations must
-    call {!Incidence.sync_caps} with {!caps} each step to pick up dynamic
-    capacity changes. *)
+(** The sparse CSR/CSC index structure of the current snapshot. Shared,
+    read-only for callers; replaced wholesale by a commit (check
+    {!generation} before caching it across events). Kernels that cache
+    it across iterations must call {!sync_caps} each step to pick up
+    dynamic capacity changes. *)
 
 val group_rate : t -> rates:float array -> int -> float
 (** [y_g = Σ_{i ∈ g} rates.(i)]. *)
 
 val group_rates : t -> rates:float array -> float array
+  [@@deprecated "allocates a fresh array per call; use group_rates_into"]
 
 val group_rates_into : t -> rates:float array -> float array -> unit
-(** Like {!group_rates} but writes into a caller-owned array of length
+(** Like [group_rates] but writes into a caller-owned array of length
     [n_groups] (no allocation). *)
 
 val link_loads : t -> rates:float array -> float array
-(** Traffic per link under the given flow rates. *)
+  [@@deprecated "allocates a fresh array per call; use link_loads_into"]
 
 val link_loads_into : t -> rates:float array -> float array -> unit
-(** Like {!link_loads} but clears and fills a caller-owned array of
+(** Like [link_loads] but clears and fills a caller-owned array of
     length [n_links] (no allocation). *)
 
 val path_price : t -> prices:float array -> int -> float

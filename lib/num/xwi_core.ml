@@ -97,6 +97,10 @@ type state = {
   mutable pool : Nf_util.Shard.t option;
   mutable diag : Diag.t option;
   buffers : buffers;
+  problem_gen : int;
+      (* Problem.generation the buffers were sized for; [step] refuses a
+         problem whose topology moved on (stale CSR/CSC shapes would
+         corrupt memory through the unsafe sweeps). *)
 }
 
 let make_buffers problem =
@@ -132,8 +136,8 @@ let make_buffers problem =
    is O(rounds * nnz), which at 100k+ flows turns initialization into the
    dominant cost. *)
 let equal_weight_rates problem =
+  Problem.sync_caps problem;
   let inc = Problem.incidence problem in
-  Incidence.sync_caps inc (Problem.caps problem);
   let n_flows = Problem.n_flows problem in
   let weights = Incidence.vec n_flows in
   Incidence.vec_fill weights 1.;
@@ -460,6 +464,7 @@ let attach_diag problem =
     ~n_flows:(Problem.n_flows problem)
 
 let init ?pool problem =
+  let gen = Problem.generation problem in
   let rates = equal_weight_rates problem in
   let prices = seed_prices problem ~rates in
   {
@@ -469,11 +474,13 @@ let init ?pool problem =
     pool;
     diag = attach_diag problem;
     buffers = make_buffers problem;
+    problem_gen = gen;
   }
 
 let init_with_prices ?pool problem ~prices =
   if Array.length prices <> Problem.n_links problem then
     invalid_arg "Xwi_core.init_with_prices: prices length";
+  let gen = Problem.generation problem in
   let rates = equal_weight_rates problem in
   let state =
     {
@@ -483,18 +490,31 @@ let init_with_prices ?pool problem ~prices =
       pool;
       diag = attach_diag problem;
       buffers = make_buffers problem;
+      problem_gen = gen;
     }
   in
   flow_weights_into problem ~prices:state.prices ~prev_rates:state.rates
     ~out:state.weights;
   let bufs = state.buffers in
+  Problem.sync_caps problem;
   let inc = Problem.incidence problem in
-  Incidence.sync_caps inc (Problem.caps problem);
   Incidence.vec_of_array_into state.weights bufs.v_weights;
   Maxmin.solve_sparse bufs.b_maxmin_sparse inc ~weights:bufs.v_weights
     ~rates:bufs.v_rates;
   Incidence.vec_to_array bufs.v_rates state.rates;
   state
+
+(* Warm restart across a problem delta: keep the converged per-link price
+   vector (links are stable across flow churn), rebuild everything sized
+   per-flow/per-group for the new snapshot. Near the old fixpoint the
+   carried prices put the first Eq. 7 weight computation — and hence the
+   first max-min allocation — almost exactly right, so re-convergence
+   takes a few iterations instead of a cold start's hundreds. *)
+let resize ?pool problem state =
+  if Problem.n_links problem <> Array.length state.prices then
+    invalid_arg "Xwi_core.resize: link count changed";
+  let pool = match pool with Some _ as p -> p | None -> state.pool in
+  init_with_prices ?pool problem ~prices:state.prices
 
 let set_pool state pool = state.pool <- pool
 
@@ -509,13 +529,17 @@ let diag state = state.diag
    [Fluid_xwi.rates_view]) stay valid. Steady-state stepping allocates
    nothing beyond the sharding dispatch closure. *)
 let step problem params state =
+  if not (Int.equal (Problem.generation problem) state.problem_gen) then
+    invalid_arg
+      "Xwi_core.step: problem topology changed since init; call Xwi_core.resize";
   let inc = Problem.incidence problem in
   let bufs = state.buffers in
   (match state.diag with
   | None -> ()
   | Some d -> Diag.begin_iter d ~prices:state.prices ~rates:state.rates);
-  (* Dynamic experiments mutate [Problem.caps] between iterations. *)
-  Incidence.sync_caps inc (Problem.caps problem);
+  (* Dynamic experiments mutate capacities between iterations; the sync
+     is generation-gated, so an unchanged run pays one int compare. *)
+  Problem.sync_caps problem;
   Incidence.vec_of_array_into state.prices bufs.v_prices;
   Incidence.vec_of_array_into state.rates bufs.v_rates;
   Incidence.path_prices_into inc ~prices:bufs.v_prices ~out:bufs.v_path_price;

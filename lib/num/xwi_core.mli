@@ -44,6 +44,10 @@ type state = {
           (residual norms, water-fill stats, shard timings) and a capped
           run dumps a postmortem; [None] costs one [match] per step *)
   buffers : buffers;
+  problem_gen : int;
+      (** {!Problem.generation} the buffers were sized for; {!step}
+          raises once the problem's topology moves on — rebuild via
+          {!resize} *)
 }
 
 val init : ?pool:Nf_util.Shard.t -> Problem.t -> state
@@ -57,6 +61,18 @@ val init_with_prices : ?pool:Nf_util.Shard.t -> Problem.t -> prices:float array 
 (** Start from given prices (e.g. carried over across a flow-arrival event
     in dynamic scenarios); rates start at the induced allocation.
     Auto-attaches a {!Diag.t} like {!init}. *)
+
+val resize : ?pool:Nf_util.Shard.t -> Problem.t -> state -> state
+(** Warm restart after a {!Problem} delta (flow arrivals/departures):
+    a fresh state for the problem's current snapshot that {e keeps the
+    old state's converged per-link prices} — link ids are stable across
+    flow churn, so near the old fixpoint the carried prices make
+    re-convergence take a small fraction of a cold start's iterations
+    (the [churn] experiment and the [warm_vs_cold_iters] bench kernel
+    quantify this). Rates start at the allocation the carried prices
+    induce. The pool defaults to the old state's; diagnostics re-attach
+    per the process-wide config.
+    @raise Invalid_argument if the link count changed. *)
 
 val set_pool : state -> Nf_util.Shard.t option -> unit
 (** Attach or detach a domain pool for the sharded price update. The pool

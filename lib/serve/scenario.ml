@@ -1,0 +1,37 @@
+module Rng = Nf_util.Rng
+
+type t = { caps : float array; path_pool : int array array }
+
+let leaf_spine ?(n_leaves = 8) ?(n_spines = 4) ?(servers_per_leaf = 16)
+    ?(pool = 1000) ~seed () =
+  let ls = Nf_topo.Builders.leaf_spine ~n_leaves ~n_spines ~servers_per_leaf () in
+  let topo = ls.Nf_topo.Builders.topo in
+  let rng = Rng.create ~seed in
+  let pairs =
+    Nf_workload.Traffic.random_pairs rng ~hosts:ls.Nf_topo.Builders.servers ~n:pool
+  in
+  let router = Nf_topo.Routing.router topo in
+  let path_pool =
+    Array.mapi
+      (fun i { Nf_workload.Traffic.src; dst } ->
+        Array.of_list
+          (Nf_topo.Routing.ecmp_path_fast router ~src ~dst ~hash:(i * 2654435761)))
+      pairs
+  in
+  let caps =
+    Array.map
+      (fun (l : Nf_topo.Topology.link) -> l.Nf_topo.Topology.capacity)
+      (Nf_topo.Topology.links topo)
+  in
+  { caps; path_pool }
+
+type event = Arrive of int | Depart of int
+
+let next_event rng t ~live ~target =
+  let arrive () = Arrive (Rng.int rng (Array.length t.path_pool)) in
+  if live = 0 then arrive ()
+  else begin
+    (* Biased random walk around [target]: 70/30 toward the target. *)
+    let p_arrive = if live < target then 0.7 else 0.3 in
+    if Rng.float rng 1. < p_arrive then arrive () else Depart (Rng.int rng live)
+  end

@@ -518,7 +518,8 @@ let test_problem_structure () =
   Alcotest.(check (array int)) "link 2 flows" [| 1; 2 |] (Problem.link_flows p 2);
   let rates = [| 1.; 2.; 4. |] in
   check_close "group rate" 3. (Problem.group_rate p ~rates 0);
-  let loads = Problem.link_loads p ~rates in
+  let loads = Array.make (Problem.n_links p) 0. in
+  Problem.link_loads_into p ~rates loads;
   check_close "load l0" 5. loads.(0);
   check_close "load l2" 6. loads.(2);
   check_close "path price" 5. (Problem.path_price p ~prices:[| 1.; 2.; 4. |] 2);
@@ -692,6 +693,204 @@ let test_sharded_long_run_bit_identical () =
         true
         (bits_equal base.Xwi.rates s.Xwi.rates))
     [ 2; 3; 4; 7 ]
+
+(* ------------------------------------------------------------------ *)
+(* Delta interface: flow churn, gid stability, capacity generations *)
+
+let test_delta_add_remove_commit () =
+  let u = Utility.proportional_fair () in
+  let p = Problem.create_groups ~caps:[| 10.; 10. |] ~groups:[||] in
+  Alcotest.(check int) "starts empty" 0 (Problem.n_groups p);
+  let g0 = Problem.generation p in
+  let a = Problem.add_group p (Problem.single_path u [| 0 |]) in
+  let b = Problem.add_group p (Problem.single_path u [| 0; 1 |]) in
+  let c = Problem.add_group p (Problem.single_path u [| 1 |]) in
+  Alcotest.(check bool) "dirty before commit" true (Problem.dirty p);
+  Problem.commit p;
+  Alcotest.(check bool) "clean after commit" false (Problem.dirty p);
+  Alcotest.(check bool) "generation moved" false
+    (Int.equal g0 (Problem.generation p));
+  Alcotest.(check int) "three groups" 3 (Problem.n_groups p);
+  (* First commit assigns dense ids in insertion order. *)
+  Alcotest.(check (option int)) "a dense 0" (Some 0) (Problem.group_index p a);
+  Alcotest.(check int) "gid of dense 1" b (Problem.group_gid p 1);
+  (* Remove the middle group: tombstone now, compaction at the next read;
+     survivors keep their gids but dense ids shift down. *)
+  Problem.remove_group p b;
+  Alcotest.(check bool) "b no longer live" false (Problem.mem_group p b);
+  Alcotest.(check int) "two groups after compaction" 2 (Problem.n_groups p);
+  Alcotest.(check (option int)) "b unmapped" None (Problem.group_index p b);
+  Alcotest.(check (option int)) "a keeps dense 0" (Some 0)
+    (Problem.group_index p a);
+  Alcotest.(check (option int)) "c compacted to dense 1" (Some 1)
+    (Problem.group_index p c);
+  Alcotest.(check int) "flows follow the compaction" 2 (Problem.n_flows p);
+  (* A fresh add after removals gets a fresh gid, never a recycled one. *)
+  let d = Problem.add_group p (Problem.single_path u [| 1 |]) in
+  Alcotest.(check bool) "gids are never recycled" true
+    (d <> a && d <> b && d <> c)
+
+let test_delta_validation () =
+  let u = Utility.proportional_fair () in
+  let p = Problem.create_groups ~caps:[| 1. |] ~groups:[||] in
+  Alcotest.check_raises "empty path"
+    (Invalid_argument "Problem.add_group: empty path") (fun () ->
+      ignore (Problem.add_group p (Problem.single_path u [||])));
+  Alcotest.check_raises "bad link"
+    (Invalid_argument "Problem.add_group: link id out of range") (fun () ->
+      ignore (Problem.add_group p (Problem.single_path u [| 1 |])));
+  let g = Problem.add_group p (Problem.single_path u [| 0 |]) in
+  Problem.remove_group p g;
+  Alcotest.check_raises "double remove"
+    (Invalid_argument
+       (Printf.sprintf "Problem.remove_group: gid %d already removed" g))
+    (fun () -> Problem.remove_group p g);
+  Alcotest.check_raises "unknown gid"
+    (Invalid_argument "Problem.remove_group: unknown gid 999") (fun () ->
+      Problem.remove_group p 999)
+
+let test_delta_stale_state_guarded () =
+  (* Solver state sized for an old snapshot must refuse to step once the
+     topology generation moved (silent reuse would read out-of-date dense
+     ids — worst case out-of-bounds writes). *)
+  let u = Utility.proportional_fair () in
+  let p = single_link_problem ~cap:10. [ u; u ] in
+  let state = Xwi.init p in
+  ignore (Problem.add_group p (Problem.single_path u [| 0 |]));
+  Problem.commit p;
+  Alcotest.check_raises "stale step rejected"
+    (Invalid_argument
+       "Xwi_core.step: problem topology changed since init; call \
+        Xwi_core.resize")
+    (fun () -> Xwi.step p Xwi.default_params state);
+  (* resize rebuilds against the new snapshot and is steppable again. *)
+  let state = Xwi.resize p state in
+  Xwi.step p Xwi.default_params state;
+  Alcotest.(check int) "resized state covers the new flow" 3
+    (Array.length state.Xwi.rates)
+
+let test_delta_caps_midrun () =
+  (* Figure 10's capacity-change path: converge, change a link speed with
+     [set_cap] mid-run, keep stepping the *same* state (capacity changes
+     are not topology changes — no resize), and the allocation must track
+     the new capacity. *)
+  let u = Utility.proportional_fair () in
+  let p = single_link_problem ~cap:10. [ u; u ] in
+  let state = Xwi.init p in
+  let run = Xwi.run_until_kkt ~tol:1e-9 ~check_every:1 p Xwi.default_params state in
+  Alcotest.(check bool) "converged at 10G" true run.Xwi.converged;
+  check_rates ~rel:1e-6 "equal shares of 10" [| 5.; 5. |] state.Xwi.rates;
+  let topo_gen = Problem.generation p in
+  let cap_gen = Problem.cap_generation p in
+  Problem.set_cap p 0 20.;
+  Alcotest.(check bool) "cap generation bumped" false
+    (Int.equal cap_gen (Problem.cap_generation p));
+  Alcotest.(check bool) "topology generation unchanged" true
+    (Int.equal topo_gen (Problem.generation p));
+  let run = Xwi.run_until_kkt ~tol:1e-9 ~check_every:1 p Xwi.default_params state in
+  Alcotest.(check bool) "re-converged at 20G" true run.Xwi.converged;
+  check_rates ~rel:1e-6 "equal shares of 20" [| 10.; 10. |] state.Xwi.rates;
+  Alcotest.(check bool) "warm cap change re-solve satisfies KKT" true
+    (Kkt.worst (Kkt.check p ~rates:state.Xwi.rates ~prices:state.Xwi.prices)
+    < 1e-8);
+  (* Direct writes into [caps] work too, via touch_caps. *)
+  (Problem.caps p).(0) <- 10.;
+  Problem.touch_caps p;
+  ignore (Xwi.run_until_kkt ~tol:1e-9 ~check_every:1 p Xwi.default_params state);
+  check_rates ~rel:1e-6 "back to shares of 10" [| 5.; 5. |] state.Xwi.rates
+
+(* A random single-link-id path over the problem's links, for churn
+   properties. *)
+let random_path rng ~n_links =
+  let len = 1 + Rng.int rng (min 3 n_links) in
+  Array.sub (Rng.permutation rng n_links) 0 len
+
+let prop_warm_churn_matches_cold =
+  QCheck.Test.make
+    ~name:"add -> warm solve -> remove -> warm solve lands on the cold fixpoint"
+    ~count:20 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create ~seed:(seed + 5000) in
+      let p = random_problem rng in
+      (* Some random instances have a KKT-residual floor around 1e-8
+         (finite-precision xWI), so don't demand convergence at this
+         tolerance — run to the floor and compare the allocations. *)
+      let tol = 1e-10 in
+      let solve st = Xwi.run_until_kkt ~tol ~check_every:1 p Xwi.default_params st in
+      let state = ref (Xwi.init p) in
+      ignore (solve !state);
+      (* Arrival: a fresh proportional-fair flow on a random path. *)
+      let gid =
+        Problem.add_group p
+          (Problem.single_path (Utility.proportional_fair ())
+             (random_path rng ~n_links:(Problem.n_links p)))
+      in
+      Problem.commit p;
+      state := Xwi.resize p !state;
+      ignore (solve !state);
+      (* Departure of the same flow: the final problem is the original. *)
+      Problem.remove_group p gid;
+      Problem.commit p;
+      state := Xwi.resize p !state;
+      let warm_run = solve !state in
+      let cold_state = Xwi.init p in
+      let cold_run = solve cold_state in
+      (* Compare *group* totals: multipath sub-flow splits are not unique
+         at the optimum (only the group rate is), so per-flow rates of two
+         KKT-certified solutions may legitimately differ. Converged
+         instances must agree to 1e-9; floor-limited ones (capped at the
+         instance's residual floor) get floor-scale slop. *)
+      let rel =
+        if warm_run.Xwi.converged && cold_run.Xwi.converged then 1e-9 else 1e-8
+      in
+      let n_groups = Problem.n_groups p in
+      let warm_g = Array.make n_groups 0. in
+      let cold_g = Array.make n_groups 0. in
+      Problem.group_rates_into p ~rates:!state.Xwi.rates warm_g;
+      Problem.group_rates_into p ~rates:cold_state.Xwi.rates cold_g;
+      Array.for_all2 (Fcmp.rel_eq ~rel) warm_g cold_g)
+
+let prop_kkt_after_random_churn =
+  QCheck.Test.make
+    ~name:"warm re-solves satisfy KKT across randomized churn" ~count:15
+    QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create ~seed:(seed + 6000) in
+      let p = random_problem rng in
+      let n_links = Problem.n_links p in
+      (* Initial groups get gids 0 .. n-1 (mli contract). *)
+      let live = ref (List.init (Problem.n_groups p) Fun.id) in
+      (* The always-on service's tolerance: comfortably above any random
+         instance's KKT-residual floor, so converged must hold. *)
+      let tol = 1e-6 in
+      let state = ref (Xwi.init p) in
+      ignore (Xwi.run_until_kkt ~tol ~check_every:1 p Xwi.default_params !state);
+      let ok = ref true in
+      for _ = 1 to 6 do
+        (if List.length !live <= 1 || Rng.int rng 2 = 0 then
+           let gid =
+             Problem.add_group p
+               (Problem.single_path (Utility.proportional_fair ())
+                  (random_path rng ~n_links))
+           in
+           live := gid :: !live
+         else begin
+           let victim = List.nth !live (Rng.int rng (List.length !live)) in
+           Problem.remove_group p victim;
+           live := List.filter (fun g -> g <> victim) !live
+         end);
+        Problem.commit p;
+        state := Xwi.resize p !state;
+        let run =
+          Xwi.run_until_kkt ~tol ~check_every:1 p Xwi.default_params !state
+        in
+        let worst =
+          Kkt.worst
+            (Kkt.check p ~rates:!state.Xwi.rates ~prices:!state.Xwi.prices)
+        in
+        ok := !ok && run.Xwi.converged && worst <= tol
+      done;
+      !ok)
 
 (* ------------------------------------------------------------------ *)
 (* Utility fast paths, sparse solve statistics, and solver diagnostics *)
@@ -953,6 +1152,15 @@ let () =
         [
           quick "structure" test_problem_structure;
           quick "validation" test_problem_validation;
+        ] );
+      ( "delta",
+        [
+          quick "add/remove/commit, gid stability" test_delta_add_remove_commit;
+          quick "validation" test_delta_validation;
+          quick "stale solver state guarded" test_delta_stale_state_guarded;
+          quick "capacity change mid-run (Fig. 10 path)" test_delta_caps_midrun;
+          qcheck prop_warm_churn_matches_cold;
+          qcheck prop_kkt_after_random_churn;
         ] );
       ( "sparse",
         [
