@@ -400,7 +400,8 @@ let feasible ?(tol = 1e-6) t ~rates =
   force t;
   Array.for_all (fun x -> x >= 0.) rates
   &&
-  let loads = link_loads t ~rates in
+  let loads = Array.make (Array.length t.capacities) 0. in
+  link_loads_into t ~rates loads;
   let ok = ref true in
   Array.iteri
     (fun l load -> if load > t.capacities.(l) *. (1. +. tol) then ok := false)

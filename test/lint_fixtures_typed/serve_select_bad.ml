@@ -1,0 +1,7 @@
+(* serve-blocking bad cases: blocking calls inside what the config
+   marks as select-loop code. Expected findings: the Unix.sleepf and
+   the Sys.command. *)
+
+let tick () = Unix.sleepf 0.05
+
+let shell () = ignore (Sys.command "true")

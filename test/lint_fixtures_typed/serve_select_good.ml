@@ -1,0 +1,7 @@
+(* serve-blocking good case: waiting in Unix.select with a timeout is
+   the select loop's job, not a blocking call. Zero findings. *)
+
+let tick socks =
+  match Unix.select socks [] [] 0.05 with
+  | ready, _, _ -> List.length ready
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> 0

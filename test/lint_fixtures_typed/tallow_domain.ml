@@ -1,0 +1,15 @@
+(* domain-safety waivers. The first is justified and suppresses its
+   finding; the second names the rule but gives no justification, which
+   is itself a (non-suppressible) finding. *)
+
+let cell = ref 0
+
+let spawn_waived () =
+  Stdlib.Domain.spawn (fun () ->
+      (cell := 1)
+      [@nf.allow "domain-safety -- single writer, domain joined before read"])
+
+let cell2 = ref 0
+
+let spawn_unjustified () =
+  Stdlib.Domain.spawn (fun () -> (cell2 := 2) [@nf.allow "domain-safety"])

@@ -1,0 +1,6 @@
+(* deprecated-copy bad cases: both copying accessors, called outside
+   Nf_num.Reference. Two findings expected. *)
+
+let loads (p : Nf_num.Problem.t) ~rates = Nf_num.Problem.link_loads p ~rates
+
+let rates (p : Nf_num.Problem.t) ~rates = Nf_num.Problem.group_rates p ~rates

@@ -1,0 +1,10 @@
+(* Typed float-compare bad cases. The types are what convict here, not
+   the syntax: every operand below is float-carrying. Expected
+   findings: the [=] in [eq], the bare [compare] in [lst] (instantiated
+   at float), the [min] in [fmin]. *)
+
+let eq (a : float) (b : float) = a = b
+
+let lst (xs : float list) = List.sort compare xs
+
+let fmin (a : float) (b : float) = min a b

@@ -1,0 +1,13 @@
+(* Typed hot-alloc bad cases. Expected findings: tuple in [pair],
+   Array.make in [fresh], boxed constructor in [boxed], partial
+   application (omitted labelled argument) in [staged]. *)
+
+let[@nf.hot] pair a b = (a, b)
+
+let[@nf.hot] fresh n = Array.make n 0.0
+
+let[@nf.hot] boxed x = Some x
+
+let scaled ~(k : float) (x : float) = k *. x
+
+let[@nf.hot] staged (x : float) = scaled x

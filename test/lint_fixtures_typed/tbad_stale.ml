@@ -1,0 +1,16 @@
+(* stale-generation bad cases: a solver state / incidence obtained
+   before a Problem topology mutation, used after it with no commit or
+   resize in between. Expected findings: one on [st] in [bad_state],
+   one on [inc] in [bad_incidence]. *)
+
+open Nf_num
+
+let spec = Problem.single_path (Utility.proportional_fair ()) [| 0 |]
+
+let bad_state (p : Problem.t) (st : Xwi_core.state) params =
+  let _gid = Problem.add_group p spec in
+  Xwi_core.step p params st
+
+let bad_incidence (p : Problem.t) (inc : Incidence.t) ~prices ~out =
+  let _gid = Problem.add_group p spec in
+  Incidence.path_prices_into inc ~prices ~out

@@ -1,0 +1,8 @@
+(* deprecated-copy good cases: the _into variants write into a
+   caller-owned buffer and are always fine. Zero findings expected. *)
+
+let loads (p : Nf_num.Problem.t) ~rates out =
+  Nf_num.Problem.link_loads_into p ~rates out
+
+let rates (p : Nf_num.Problem.t) ~rates out =
+  Nf_num.Problem.group_rates_into p ~rates out

@@ -1,0 +1,16 @@
+(* Typed float-compare good cases — all of these were false positives
+   (or required annotations) under the retired syntactic rule:
+   - [=] on two ints (neither operand syntactically obvious)
+   - bare [compare] passed to List.sort at an int instantiation
+   - monomorphic Float comparisons
+   Zero findings expected. *)
+
+let eq (a : int) (b : int) = a = b
+
+let lst (xs : int list) = List.sort compare xs
+
+let both (a : int option) (b : int option) = a = b
+
+let feq (a : float) (b : float) = Float.equal a b
+
+let fmin (a : float) (b : float) = Float.min a b

@@ -1,0 +1,15 @@
+(* Typed hot-alloc good cases: in-place float kernels in the repo's
+   house style (loop-invariant ref accumulator, preallocated output,
+   full applications everywhere). Zero findings expected. *)
+
+let[@nf.hot] sum (a : float array) =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. Array.unsafe_get a i
+  done;
+  !acc
+
+let[@nf.hot] scale (a : float array) (c : float) =
+  for i = 0 to Array.length a - 1 do
+    Array.unsafe_set a i (c *. Array.unsafe_get a i)
+  done

@@ -94,6 +94,132 @@ let prop_sjson_float_roundtrip =
         Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float f')
       | Ok _ | Error _ -> false)
 
+(* Structural equality with bit-exact numbers: [=] would call NaN
+   unequal to itself and conflate 0. with -0.; the wire contract is
+   "the bits you printed are the bits you get back". *)
+let rec sjson_equal a b =
+  match (a, b) with
+  | Sjson.Null, Sjson.Null -> true
+  | Sjson.Bool x, Sjson.Bool y -> Bool.equal x y
+  | Sjson.Num x, Sjson.Num y ->
+    Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | Sjson.Str x, Sjson.Str y -> String.equal x y
+  | Sjson.List xs, Sjson.List ys ->
+    List.length xs = List.length ys && List.for_all2 sjson_equal xs ys
+  | Sjson.Obj xs, Sjson.Obj ys ->
+    List.length xs = List.length ys
+    && List.for_all2
+         (fun (k, v) (k', v') -> String.equal k k' && sjson_equal v v')
+         xs ys
+  | _ -> false
+
+(* Finite floats only: the printer deliberately degrades nan/inf to
+   null (JSON has no spelling for them), which the dedicated case in
+   test_sjson_print_roundtrip covers. *)
+let gen_sjson_num =
+  QCheck.Gen.(
+    oneof
+      [
+        map float_of_int int;
+        map
+          (fun (a, b) -> float_of_int a /. (float_of_int (abs b) +. 1.))
+          (pair int int);
+        oneofl
+          [ 0.; -0.; 1e-308; 1.7976931348623157e308; 3.0517578125e9; -2.5e3 ];
+      ])
+
+(* Strings over the full byte range: bytes < 0x20 exercise the \u
+   escapes, bytes >= 0x80 the raw UTF-8 passthrough. *)
+let gen_sjson_string =
+  QCheck.Gen.(
+    string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 12))
+
+let gen_sjson_doc =
+  QCheck.Gen.(
+    sized_size (int_range 0 4) @@ fix
+    @@ fun self n ->
+    let leaf =
+      oneof
+        [
+          return Sjson.Null;
+          map (fun b -> Sjson.Bool b) bool;
+          map (fun f -> Sjson.Num f) gen_sjson_num;
+          map (fun s -> Sjson.Str s) gen_sjson_string;
+        ]
+    in
+    if n = 0 then leaf
+    else
+      oneof
+        [
+          leaf;
+          map
+            (fun xs -> Sjson.List xs)
+            (list_size (int_range 0 4) (self (n - 1)));
+          map
+            (fun kvs -> Sjson.Obj kvs)
+            (list_size (int_range 0 4) (pair gen_sjson_string (self (n - 1))));
+        ])
+
+let arb_sjson_doc = QCheck.make ~print:Sjson.to_string gen_sjson_doc
+
+let prop_sjson_doc_roundtrip =
+  QCheck.Test.make ~name:"random documents survive print -> parse" ~count:500
+    arb_sjson_doc (fun d ->
+      match Sjson.parse (Sjson.to_string d) with
+      | Ok d' -> sjson_equal d d'
+      | Error e -> QCheck.Test.fail_reportf "re-parse failed: %s" e)
+
+(* Mutate a printed document (truncate / flip a byte / insert a byte)
+   and demand the parser either accepts it or returns Error — never
+   raises (an exception fails the property). *)
+let prop_sjson_parser_fails_cleanly =
+  QCheck.Test.make ~name:"mutated documents fail cleanly" ~count:500
+    QCheck.(
+      make
+        ~print:(fun (d, pos, byte, mode) ->
+          Printf.sprintf "%s pos=%d byte=%d mode=%d" (Sjson.to_string d) pos
+            byte mode)
+        Gen.(quad gen_sjson_doc (int_range 0 1000) (int_range 0 255)
+               (int_range 0 2)))
+    (fun (d, pos, byte, mode) ->
+      let s = Sjson.to_string d in
+      let n = String.length s in
+      let s =
+        if n = 0 then s
+        else
+          let pos = pos mod (n + 1) in
+          match mode with
+          | 0 -> String.sub s 0 (min pos n)  (* truncate *)
+          | 1 when pos < n ->
+            String.mapi (fun i c -> if i = pos then Char.chr byte else c) s
+          | _ ->
+            String.sub s 0 pos ^ String.make 1 (Char.chr byte)
+            ^ String.sub s pos (n - pos)
+      in
+      match Sjson.parse s with
+      | Ok _ -> true
+      | Error e -> String.length e > 0)
+
+let test_sjson_malformed_corpus () =
+  let corpus =
+    [
+      "{"; "["; "]"; "}"; "{]"; "[}"; "nul"; "tru"; "falsy"; "+1"; "--1";
+      "1e"; "1e+"; "1.2.3"; "[1 2]"; "[1,]"; "[,1]"; "{\"a\":}"; "{\"a\":1,}";
+      "{\"a\" \"b\"}"; "{a:1}"; "\"\\q\""; "\"\\u12"; "\"\\u123g\"";
+      "\"\x01\""; "\x00"; "\xff"; "{\"a\":1}garbage"; "[[[["; "\"";
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Sjson.parse s with
+      | Ok _ -> Alcotest.failf "parser accepted malformed input %S" s
+      | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error for %S carries a message" s)
+          true
+          (String.length e > 0))
+    corpus
+
 let test_sjson_accessors () =
   let doc =
     Sjson.Obj
@@ -446,6 +572,9 @@ let () =
           quick "parse errors" test_sjson_parse_errors;
           quick "print round-trip" test_sjson_print_roundtrip;
           qcheck prop_sjson_float_roundtrip;
+          qcheck prop_sjson_doc_roundtrip;
+          qcheck prop_sjson_parser_fails_cleanly;
+          quick "malformed corpus" test_sjson_malformed_corpus;
           quick "accessors" test_sjson_accessors;
         ] );
       ( "protocol",

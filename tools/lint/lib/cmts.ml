@@ -1,0 +1,87 @@
+(* Index of .cmt artifacts: maps compiled source paths to the cmt file
+   holding their typedtree. The typed stage is keyed on this index; a
+   file with no cmt entry simply has no typed findings (or a
+   [cmt-missing] finding when the driver runs with [require_cmt]).
+
+   Scanning is deterministic: directory entries are sorted before
+   descending and ties in suffix matching resolve to the
+   lexicographically first source path, so two runs produce identical
+   stage-2 coverage. *)
+
+type entry = { source : string; cmt_path : string }
+
+type t = { entries : entry list }
+
+let is_cmt path = Filename.check_suffix path ".cmt"
+
+(* Unlike the source walk, descend into dot-directories: dune hides the
+   .objs/.eobjs artifact dirs behind a leading dot. *)
+let rec walk acc path =
+  match Sys.is_directory path with
+  | true ->
+    Sys.readdir path |> Array.to_list
+    |> List.sort String.compare
+    |> List.fold_left (fun acc name -> walk acc (Filename.concat path name)) acc
+  | false -> if is_cmt path then path :: acc else acc
+  | exception Sys_error _ -> acc
+
+let source_of_cmt path =
+  match Cmt_format.read_cmt path with
+  | { Cmt_format.cmt_sourcefile = Some src; cmt_annots = Implementation _; _ }
+    ->
+    Some (Config.normalize src)
+  | _ -> None
+  | exception _ -> None
+
+let index ~roots =
+  let cmts =
+    List.fold_left
+      (fun acc root -> if Sys.file_exists root then walk acc root else acc)
+      [] roots
+    |> List.sort_uniq String.compare
+  in
+  let entries =
+    List.filter_map
+      (fun cmt_path ->
+        match source_of_cmt cmt_path with
+        | Some source -> Some { source; cmt_path }
+        | None -> None)
+      cmts
+    |> List.sort (fun a b -> String.compare a.source b.source)
+  in
+  { entries }
+
+let size t = List.length t.entries
+
+(* [a] ends with [b] at a '/' boundary (or equals it). *)
+let suffix_at_boundary ~full ~suffix =
+  full = suffix
+  || String.length full > String.length suffix + 1
+     && String.sub full
+          (String.length full - String.length suffix - 1)
+          (String.length suffix + 1)
+        = "/" ^ suffix
+
+(* The lint path and the compiled path may be rooted differently (the
+   tests lint "lint_fixtures_typed/x.ml" while dune compiled
+   "test/lint_fixtures_typed/x.ml"); accept a match when either is a
+   '/'-boundary suffix of the other. Exact matches win. *)
+let find t path =
+  let path = Config.normalize path in
+  let exact = List.find_opt (fun e -> e.source = path) t.entries in
+  match exact with
+  | Some e -> Some e.cmt_path
+  | None ->
+    List.find_opt
+      (fun e ->
+        suffix_at_boundary ~full:e.source ~suffix:path
+        || suffix_at_boundary ~full:path ~suffix:e.source)
+      t.entries
+    |> Option.map (fun e -> e.cmt_path)
+
+let load cmt_path =
+  match Cmt_format.read_cmt cmt_path with
+  | { Cmt_format.cmt_annots = Implementation str; _ } -> Ok str
+  | _ -> Error (Printf.sprintf "%s: not an implementation cmt" cmt_path)
+  | exception exn ->
+    Error (Printf.sprintf "%s: %s" cmt_path (Printexc.to_string exn))

@@ -1,0 +1,24 @@
+(** Index of [.cmt] artifacts for the typed stage.
+
+    Built once per run by scanning the given roots (typically
+    [_build/default], or ["."] when invoked from inside the build
+    context) for [*.cmt] files, reading each one's recorded source path.
+    Only implementation cmts are indexed. The scan descends into
+    dot-directories (dune's [.objs]/[.eobjs]) and is deterministic. *)
+
+type t
+
+val index : roots:string list -> t
+(** Nonexistent roots are skipped silently (a fresh checkout has no
+    [_build] yet: the typed stage just finds no cmts). *)
+
+val size : t -> int
+(** Number of indexed source files. *)
+
+val find : t -> string -> string option
+(** [find t source_path] is the cmt path compiled from [source_path].
+    Paths match exactly, or by ['/']-boundary suffix in either
+    direction (lint roots and dune's compilation root may differ). *)
+
+val load : string -> (Typedtree.structure, string) result
+(** Read one cmt file's implementation typedtree. *)

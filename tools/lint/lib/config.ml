@@ -3,6 +3,8 @@ type t = {
   float_strict : string -> bool;
   hashtbl_ordered : string -> bool;
   require_mli : string -> bool;
+  copy_exempt : string -> bool;
+  serve_loop : string -> bool;
 }
 
 let normalize path =
@@ -34,17 +36,36 @@ let repo_default =
       (fun p ->
         let p = normalize p in
         has_prefix ~prefix:"bench/" p || has_suffix ~suffix:"/profile.ml" p);
-    (* The numeric kernels: a polymorphic compare on floats here is either
-       a nan-semantics bug waiting to happen or a silent deoptimization. *)
+    (* The numeric kernels plus everything downstream of them that moves
+       floats (the serve daemon's epochs, the event engine's timestamps):
+       a polymorphic compare on floats here is either a nan-semantics bug
+       waiting to happen or a silent deoptimization. The typed stage
+       resolves operand types exactly, so widening the scope beyond
+       num/fluid costs no false positives. *)
     float_strict =
       (fun p ->
         let p = normalize p in
-        has_prefix ~prefix:"lib/num/" p || has_prefix ~prefix:"lib/fluid/" p);
+        has_prefix ~prefix:"lib/num/" p
+        || has_prefix ~prefix:"lib/fluid/" p
+        || has_prefix ~prefix:"lib/serve/" p
+        || has_prefix ~prefix:"lib/engine/" p);
     (* Every library module can feed Record/Report/Metrics output, so
        unordered Hashtbl traversal is banned across lib/ unless the result
        is sorted in place. *)
     hashtbl_ordered = (fun p -> has_prefix ~prefix:"lib/" (normalize p));
     require_mli = (fun p -> has_prefix ~prefix:"lib/" (normalize p));
+    (* The legacy oracle is the one module allowed to keep calling the
+       copying link_loads/group_rates accessors (it *is* the
+       allocation-happy reference implementation). *)
+    copy_exempt = (fun p -> has_suffix ~suffix:"lib/num/reference.ml" (normalize p));
+    (* The single-threaded select dispatch: a blocking call here stalls
+       every connected client. The blocking Client driver is exempt (it
+       is the other side of the wire). *)
+    serve_loop =
+      (fun p ->
+        let p = normalize p in
+        has_prefix ~prefix:"lib/serve/" p
+        && not (has_suffix ~suffix:"/client.ml" p));
   }
 
 (* Every path-scoped rule active everywhere, wall-clock nowhere exempt:
@@ -55,4 +76,6 @@ let strict =
     float_strict = (fun _ -> true);
     hashtbl_ordered = (fun _ -> true);
     require_mli = (fun _ -> true);
+    copy_exempt = (fun _ -> false);
+    serve_loop = (fun _ -> true);
   }

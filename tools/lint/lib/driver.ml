@@ -1,8 +1,9 @@
-(* File walking, parsing, baseline handling. Everything here is kept
-   deterministic on purpose: directory entries are sorted before
-   descending, the final file list is sorted and deduplicated, and
-   findings are sorted with [Finding.compare], so two runs on different
-   filesystems produce byte-identical reports and baseline diffs. *)
+(* File walking, parsing, two-stage rule dispatch, baseline handling.
+   Everything here is kept deterministic on purpose: directory entries
+   are sorted before descending, the final file list is sorted and
+   deduplicated, and findings are sorted with [Finding.compare], so two
+   runs on different filesystems produce byte-identical reports and
+   baseline diffs. *)
 
 let is_ml path = Filename.check_suffix path ".ml"
 
@@ -41,7 +42,12 @@ let parse_implementation path =
       Location.init lexbuf path;
       Parse.implementation lexbuf)
 
-let lint_file ?enabled ~config path =
+(* Stage 1: parse + syntactic rules. Stage 2: look up the file's cmt in
+   the index and run the typed rules over its typedtree. A file with no
+   cmt gets no typed findings, unless [require_cmt] asks for a
+   [cmt-missing] diagnostic (CI runs that way so silently-skipped
+   coverage can't rot in). *)
+let lint_file ?enabled ?cmts ?(require_cmt = false) ~config path =
   let ctx = Rules.make_ctx ?enabled ~config path in
   (match parse_implementation path with
   | str ->
@@ -60,11 +66,39 @@ let lint_file ?enabled ~config path =
     Rules.add_finding ctx
       (Finding.v ~file:(Config.normalize path) ~line ~col ~rule:"parse-error"
          msg));
-  Rules.findings ctx
+  let syntactic = Rules.findings ctx in
+  let typed =
+    match cmts with
+    | None -> []
+    | Some idx -> (
+      let missing msg =
+        if require_cmt then
+          [
+            Finding.v ~file:(Config.normalize path) ~line:1 ~col:0
+              ~rule:"cmt-missing" msg;
+          ]
+        else []
+      in
+      match Cmts.find idx path with
+      | None ->
+        missing
+          "no cmt artifact found for this file; the typed stage did not \
+           run (build first, or extend --cmt-root)"
+      | Some cmt_path -> (
+        match Cmts.load cmt_path with
+        | Error msg -> missing msg
+        | Ok str ->
+          let tctx = Typed_rules.make_ctx ?enabled ~config path in
+          Typed_rules.check_structure tctx str;
+          Typed_rules.findings tctx))
+  in
+  syntactic @ typed
 
-let run ?enabled ?(config = Config.repo_default) roots =
+let run ?enabled ?(config = Config.repo_default) ?cmts ?require_cmt roots =
   let files = collect_files roots in
-  List.concat_map (fun f -> lint_file ?enabled ~config f) files
+  List.concat_map
+    (fun f -> lint_file ?enabled ?cmts ?require_cmt ~config f)
+    files
   |> List.sort Finding.compare
 
 (* ------------------------------------------------------------------ *)
@@ -73,7 +107,7 @@ let run ?enabled ?(config = Config.repo_default) roots =
 
 type baseline_result = {
   fresh : Finding.t list;  (* findings not covered by the baseline *)
-  baselined : int;  (* findings suppressed by the baseline *)
+  baselined : Finding.t list;  (* findings suppressed by the baseline *)
   stale : string list;  (* baseline entries that matched nothing *)
 }
 
@@ -98,17 +132,64 @@ let apply_baseline entries findings =
   let used = Hashtbl.create 16 in
   let fresh, baselined =
     List.fold_left
-      (fun (fresh, n) f ->
+      (fun (fresh, supp) f ->
         let key = Finding.baseline_key f in
         if List.mem key entries then begin
           Hashtbl.replace used key ();
-          (fresh, n + 1)
+          (fresh, f :: supp)
         end
-        else (f :: fresh, n))
-      ([], 0) findings
+        else (f :: fresh, supp))
+      ([], []) findings
   in
   let stale = List.filter (fun e -> not (Hashtbl.mem used e)) entries in
-  { fresh = List.rev fresh; baselined; stale }
+  { fresh = List.rev fresh; baselined = List.rev baselined; stale }
 
 let baseline_of_findings findings =
   List.sort_uniq String.compare (List.map Finding.baseline_key findings)
+
+(* Comment lines ('#'-prefixed) of an existing baseline survive an
+   --update-baseline rewrite: they carry the reviewers' rationale for
+   each accepted debt entry, which regenerating must not destroy. *)
+let baseline_comments path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec loop acc =
+          match input_line ic with
+          | line ->
+            let acc =
+              if String.length (String.trim line) > 0
+                 && (String.trim line).[0] = '#'
+              then line :: acc
+              else acc
+            in
+            loop acc
+          | exception End_of_file -> List.rev acc
+        in
+        loop [])
+  end
+
+let default_baseline_header =
+  [
+    "# nf_lint baseline: accepted findings, one per line.";
+    "# Regenerate with: nf_lint --update-baseline <this file> <roots>";
+    "# Comment lines are preserved across regeneration.";
+  ]
+
+let write_baseline ~path findings =
+  let comments =
+    match baseline_comments path with
+    | [] -> default_baseline_header
+    | cs -> cs
+  in
+  let entries = baseline_of_findings findings in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      List.iter (fun c -> output_string oc (c ^ "\n")) comments;
+      List.iter (fun e -> output_string oc (e ^ "\n")) entries);
+  List.length entries

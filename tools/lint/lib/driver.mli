@@ -1,4 +1,5 @@
-(** Deterministic file walk + parse + rule dispatch + baseline.
+(** Deterministic file walk + parse + two-stage rule dispatch +
+    baseline.
 
     The walk sorts directory entries before descending and the merged
     file list and findings are sorted, so output is byte-identical
@@ -9,22 +10,32 @@
     Raises [Sys_error] on a nonexistent root. *)
 val collect_files : string list -> string list
 
-(** Lint one file. A file that fails to parse yields a single
-    [parse-error] finding rather than an exception. *)
+(** Lint one file: the syntactic stage always runs; the typed stage
+    runs when [cmts] holds a matching cmt artifact. A file that fails
+    to parse yields a single [parse-error] finding rather than an
+    exception; a file with no cmt yields a [cmt-missing] finding when
+    [require_cmt] is set (default: typed stage silently skipped). *)
 val lint_file :
-  ?enabled:(string -> bool) -> config:Config.t -> string -> Finding.t list
+  ?enabled:(string -> bool) ->
+  ?cmts:Cmts.t ->
+  ?require_cmt:bool ->
+  config:Config.t ->
+  string ->
+  Finding.t list
 
 (** Lint every [.ml] under the roots; findings come back sorted with
     {!Finding.compare}. [config] defaults to {!Config.repo_default}. *)
 val run :
   ?enabled:(string -> bool) ->
   ?config:Config.t ->
+  ?cmts:Cmts.t ->
+  ?require_cmt:bool ->
   string list ->
   Finding.t list
 
 type baseline_result = {
   fresh : Finding.t list;  (** findings not covered by the baseline *)
-  baselined : int;  (** findings suppressed by the baseline *)
+  baselined : Finding.t list;  (** findings suppressed by the baseline *)
   stale : string list;  (** baseline entries that matched nothing *)
 }
 
@@ -37,3 +48,8 @@ val apply_baseline : string list -> Finding.t list -> baseline_result
 (** The sorted, deduplicated baseline representation of a finding set
     (what [--update-baseline] writes). *)
 val baseline_of_findings : Finding.t list -> string list
+
+(** Rewrite the baseline at [path] from the given findings, preserving
+    any ['#'] comment lines of the existing file (or emitting a default
+    header for a new one). Returns the number of entries written. *)
+val write_baseline : path:string -> Finding.t list -> int

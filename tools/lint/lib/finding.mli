@@ -22,3 +22,11 @@ val to_string : t -> string
 (** The line format used by [lint-baseline.txt]: [file [rule] message],
     with no line/col so baselines survive unrelated edits. *)
 val baseline_key : t -> string
+
+(** JSON string escaping (used by the [--json] report writer). *)
+val json_escape : string -> string
+
+(** One machine-readable object per finding:
+    [{"file":..,"line":..,"col":..,"rule":..,"msg":..,"baseline":..}],
+    where [baseline_status] is ["fresh"] or ["baselined"]. *)
+val to_json : baseline_status:string -> t -> string

@@ -1,45 +1,93 @@
-(* The rule set, implemented as one scoped traversal of the parsetree
-   (compiler-libs [Ast_iterator]). Rules are purely syntactic: no typing
-   pass, so each check is written to be conservative and every finding is
-   suppressible with [@nf.allow "rule"] at the offending expression, its
-   enclosing let-binding, or file-wide with [@@@nf.allow "rule"]. *)
+(* The syntactic stage: rules implemented as one scoped traversal of
+   the parsetree (compiler-libs [Ast_iterator]). No typing pass, so
+   each check here is conservative; rules that need resolved paths or
+   inferred types live in [Typed_rules] and run over cmt artifacts.
+
+   Every finding is suppressible with [@nf.allow "rule"] at the
+   offending expression, its enclosing let-binding, or file-wide with
+   [@@@nf.allow "rule"]. The payload grammar is
+   ["rule1 rule2 -- justification"]: rule names before the [--]
+   separator, free-text justification after it. Most rules ignore the
+   justification; [domain-safety] (typed stage) requires one. *)
 
 open Parsetree
 
-type meta = { id : string; summary : string }
+type stage = Syntactic | Typed
+
+type meta = { id : string; summary : string; stage : stage }
 
 let catalog =
   [
     {
       id = "determinism";
+      stage = Syntactic;
       summary =
         "no Random.self_init; no wall clock (Unix.gettimeofday, Sys.time) \
          outside Profile/bench; no unordered Hashtbl.iter/fold/to_seq in \
          library modules unless the result is sorted";
     };
     {
-      id = "float-compare";
-      summary =
-        "no polymorphic =/<>/compare/min/max on non-obviously-integer \
-         operands in lib/num and lib/fluid; use Float.compare, Int.min, ...";
-    };
-    {
-      id = "hot-alloc";
-      summary =
-        "functions marked [@nf.hot] may not allocate closures, tuples, \
-         list cells, records, array literals, stage partial applications, \
-         or call allocating container constructors (Array.make/init/copy, \
-         List.map, Bigarray.Array1.create, ...)";
-    };
-    {
       id = "exn-swallow";
+      stage = Syntactic;
       summary =
         "no catch-all exception handler (with _ -> / with e ->) that \
          neither re-raises nor fails";
     };
     {
       id = "mli-missing";
+      stage = Syntactic;
       summary = "every module under lib/ ships a .mli interface";
+    };
+    {
+      id = "float-compare";
+      stage = Typed;
+      summary =
+        "no polymorphic =/<>/compare/min/max at a type not provably \
+         float-free in lib/num, lib/fluid, lib/serve and lib/engine; use \
+         Float.compare, Int.min, ... (typed: resolved Stdlib paths, \
+         inferred operand types)";
+    };
+    {
+      id = "hot-alloc";
+      stage = Typed;
+      summary =
+        "functions marked [@nf.hot] may not allocate closures, tuples, \
+         boxed constructors, records, array literals, lazy blocks, stage \
+         partial applications, or call allocating container constructors \
+         (typed: partial application detected from omitted arguments)";
+    };
+    {
+      id = "domain-safety";
+      stage = Typed;
+      summary =
+        "closures passed to Shard.run, Domain.spawn or Runner tasks may \
+         not write captured mutable state (refs, mutable fields, \
+         Hashtbl/Buffer/array stores) unless chunk-local, mutex-guarded, \
+         Atomic, or waived with [@nf.allow \"domain-safety -- why\"] \
+         (justification required)";
+    };
+    {
+      id = "stale-generation";
+      stage = Typed;
+      summary =
+        "an Xwi_core.state or Incidence.t obtained before \
+         Problem.add_group/remove_group/set_cap may not be used after it \
+         without an intervening Problem.commit or Xwi_core.resize";
+    };
+    {
+      id = "deprecated-copy";
+      stage = Typed;
+      summary =
+        "no calls to the copying accessors Problem.link_loads / \
+         Problem.group_rates outside Nf_num.Reference; use the _into \
+         variants with a caller-owned buffer";
+    };
+    {
+      id = "serve-blocking";
+      stage = Typed;
+      summary =
+        "no blocking calls (Unix.sleep/sleepf/system/wait, Thread.delay) \
+         inside the single-threaded serve dispatch loop";
     };
   ]
 
@@ -52,7 +100,6 @@ type ctx = {
   mutable findings : Finding.t list;
   mutable allows : string list;  (* active [@nf.allow] scopes, flattened *)
   mutable sorted_depth : int;  (* > 0 while visiting args of a sort call *)
-  mutable hot_depth : int;  (* > 0 while visiting a [@nf.hot] body *)
 }
 
 let make_ctx ?(enabled = fun _ -> true) ~config file =
@@ -63,7 +110,6 @@ let make_ctx ?(enabled = fun _ -> true) ~config file =
     findings = [];
     allows = [];
     sorted_depth = 0;
-    hot_depth = 0;
   }
 
 let allowed ctx rule =
@@ -79,15 +125,37 @@ let emit ctx ~(loc : Location.t) rule msg =
   end
 
 (* --------------------------------------------------------------- *)
-(* Attribute handling: [@nf.allow "rule1 rule2"] / bare [@nf.allow]. *)
+(* Attribute handling: [@nf.allow "rule1 rule2 -- justification"] /
+   bare [@nf.allow]. Shared with the typed stage. *)
 
-let split_rules s =
-  String.split_on_char ' ' s
-  |> List.concat_map (String.split_on_char ',')
-  |> List.filter (fun x -> x <> "")
+type allow = {
+  rules : string list;
+  justification : string option;
+  loc : Location.t;
+}
 
-let allow_rules_of_attr (attr : attribute) =
-  if attr.attr_name.txt <> "nf.allow" then []
+(* Split a payload at the first "--" token: rules before, free-text
+   justification after. "--" with no text after it counts as absent. *)
+let parse_allow_payload s =
+  let rec split_at_sep acc = function
+    | [] -> (List.rev acc, None)
+    | "--" :: rest ->
+      let j = String.concat " " (List.filter (fun x -> x <> "") rest) in
+      (List.rev acc, if j = "" then None else Some j)
+    | tok :: rest -> split_at_sep (tok :: acc) rest
+  in
+  let tokens =
+    String.split_on_char ' ' s |> List.filter (fun x -> x <> "")
+  in
+  let rules_part, justification = split_at_sep [] tokens in
+  let rules =
+    List.concat_map (String.split_on_char ',') rules_part
+    |> List.filter (fun x -> x <> "")
+  in
+  (rules, justification)
+
+let allow_of_attr (attr : attribute) =
+  if attr.attr_name.txt <> "nf.allow" then None
   else
     match attr.attr_payload with
     | PStr
@@ -99,13 +167,17 @@ let allow_rules_of_attr (attr : attribute) =
             _;
           };
         ] ->
-      split_rules s
-    | PStr [] -> [ "*" ]  (* bare [@nf.allow]: allow every rule *)
-    | _ -> []
+      let rules, justification = parse_allow_payload s in
+      Some { rules; justification; loc = attr.attr_loc }
+    | PStr [] ->
+      (* bare [@nf.allow]: allow every rule *)
+      Some { rules = [ "*" ]; justification = None; loc = attr.attr_loc }
+    | _ -> None
+
+let allow_rules_of_attr attr =
+  match allow_of_attr attr with Some a -> a.rules | None -> []
 
 let allow_rules_of_attrs attrs = List.concat_map allow_rules_of_attr attrs
-
-let is_hot_attr (attr : attribute) = attr.attr_name.txt = "nf.hot"
 
 (* --------------------------------------------------------------- *)
 (* Identifier helpers. *)
@@ -120,11 +192,6 @@ let ident_of_expr e =
   match e.pexp_desc with
   | Pexp_ident { txt; _ } -> Some (longident_to_string txt)
   | _ -> None
-
-let unqualify id =
-  match String.rindex_opt id '.' with
-  | None -> id
-  | Some i -> String.sub id (i + 1) (String.length id - i - 1)
 
 let wallclock_idents = [ "Unix.gettimeofday"; "Sys.time" ]
 
@@ -146,129 +213,6 @@ let sort_idents =
     "Array.sort";
     "Array.stable_sort";
   ]
-
-(* Stdlib calls that always allocate a fresh container (or box the
-   result): forbidden inside [@nf.hot] bodies, which must write into
-   preallocated workspace buffers instead. Deliberately omits in-place
-   operations (Array.blit/fill, Bigarray.Array1.blit/fill) and [ref]
-   (a bounded, loop-invariant accumulator cell is standard style in the
-   CSR sweep kernels). *)
-let allocating_call_idents =
-  [
-    "Array.make";
-    "Array.create_float";
-    "Array.init";
-    "Array.make_matrix";
-    "Array.copy";
-    "Array.append";
-    "Array.concat";
-    "Array.sub";
-    "Array.of_list";
-    "Array.to_list";
-    "Array.map";
-    "Array.mapi";
-    "Array.to_seq";
-    "List.init";
-    "List.map";
-    "List.mapi";
-    "List.rev";
-    "List.rev_map";
-    "List.append";
-    "List.concat";
-    "List.concat_map";
-    "List.filter";
-    "List.filter_map";
-    "List.of_seq";
-    "List.to_seq";
-    "Bigarray.Array1.create";
-    "Bigarray.Array1.sub";
-    "Array1.create";
-    "Array1.sub";
-    "String.make";
-    "String.init";
-    "String.sub";
-    "String.concat";
-    "String.cat";
-    "Bytes.create";
-    "Bytes.make";
-    "Bytes.sub";
-    "Buffer.create";
-    "Hashtbl.create";
-    "Queue.create";
-    "Printf.sprintf";
-    "Format.asprintf";
-  ]
-
-let poly_compare_idents =
-  [
-    "=";
-    "<>";
-    "compare";
-    "min";
-    "max";
-    "Stdlib.=";
-    "Stdlib.<>";
-    "Stdlib.compare";
-    "Stdlib.min";
-    "Stdlib.max";
-  ]
-
-(* Applications of these always produce an int, so comparing against the
-   result monomorphises the comparison to int. The tail of the list is
-   repo vocabulary: the Problem/Topology cardinality accessors. *)
-let int_valued_fns =
-  [
-    "Problem.n_links";
-    "Problem.n_flows";
-    "Problem.n_groups";
-    "Problem.flow_group";
-    "Problem.path_len";
-    "Topology.n_nodes";
-    "Topology.n_links";
-    "Array.length";
-    "List.length";
-    "String.length";
-    "Bytes.length";
-    "Hashtbl.length";
-    "Queue.length";
-    "Char.code";
-    "int_of_float";
-    "int_of_char";
-    "int_of_string";
-    "succ";
-    "pred";
-    "abs";
-    "+";
-    "-";
-    "*";
-    "/";
-    "mod";
-    "land";
-    "lor";
-    "lxor";
-    "lsl";
-    "lsr";
-    "asr";
-  ]
-
-(* Conservative: [true] only when the expression is syntactically
-   guaranteed not to be a float (so a polymorphic compare against it is
-   monomorphised away from float by the type checker). *)
-let obviously_non_float e =
-  match e.pexp_desc with
-  | Pexp_constant (Pconst_integer _ | Pconst_char _ | Pconst_string _) -> true
-  | Pexp_construct ({ txt = Longident.Lident ("true" | "false" | "()"); _ }, None)
-    ->
-    true
-  | Pexp_apply (f, _) -> (
-    match ident_of_expr f with
-    | Some id -> List.mem id int_valued_fns
-    | None -> false)
-  | Pexp_constraint
-      (_, { ptyp_desc = Ptyp_constr ({ txt = Longident.Lident "int"; _ }, []); _ })
-    ->
-    true
-  | _ -> false
 
 (* --------------------------------------------------------------- *)
 (* exn-swallow helpers. *)
@@ -370,35 +314,6 @@ let check_handler_cases ctx cases ~exception_only =
     cases
 
 (* --------------------------------------------------------------- *)
-(* hot-alloc: per-node allocation check inside a [@nf.hot] body. *)
-
-let check_hot_node ctx e =
-  let bad msg = emit ctx ~loc:e.pexp_loc "hot-alloc" msg in
-  match e.pexp_desc with
-  | Pexp_fun _ | Pexp_function _ ->
-    bad "closure allocated inside a [@nf.hot] function"
-  | Pexp_tuple _ -> bad "tuple allocated inside a [@nf.hot] function"
-  | Pexp_construct ({ txt = Longident.Lident "::"; _ }, Some _) ->
-    bad "list cell allocated inside a [@nf.hot] function"
-  | Pexp_record _ -> bad "record allocated inside a [@nf.hot] function"
-  | Pexp_array _ -> bad "array literal allocated inside a [@nf.hot] function"
-  | Pexp_lazy _ -> bad "lazy block allocated inside a [@nf.hot] function"
-  | Pexp_apply ({ pexp_desc = Pexp_apply _; _ }, _) ->
-    bad
-      "staged application (likely partial application, which allocates a \
-       closure) inside a [@nf.hot] function"
-  | Pexp_apply (f, _) -> (
-    match ident_of_expr f with
-    | Some id when List.mem id allocating_call_idents ->
-      bad
-        (Printf.sprintf
-           "%s allocates a fresh container inside a [@nf.hot] function; \
-            write into a preallocated workspace buffer instead"
-           id)
-    | Some _ | None -> ())
-  | _ -> ()
-
-(* --------------------------------------------------------------- *)
 (* The traversal. *)
 
 let make_iterator ctx =
@@ -411,22 +326,13 @@ let make_iterator ctx =
       ctx.allows <- added @ saved;
       Fun.protect ~finally:(fun () -> ctx.allows <- saved) k
   in
-  let float_strict_here () = ctx.config.Config.float_strict ctx.file in
   let expr self e =
     with_allows e.pexp_attributes @@ fun () ->
-    if ctx.hot_depth > 0 then check_hot_node ctx e;
     match e.pexp_desc with
     | Pexp_ident _ -> (
       (* A bare mention (not the head of an application we special-case
-         below): a polymorphic comparator passed as a function value, or a
-         nondeterminism source used point-free. *)
+         below): a nondeterminism source used point-free. *)
       match ident_of_expr e with
-      | Some id when List.mem id poly_compare_idents && float_strict_here () ->
-        emit ctx ~loc:e.pexp_loc "float-compare"
-          (Printf.sprintf
-             "polymorphic %s passed as a function in a float-strict module; \
-              use Float.compare/Int.compare or a monomorphic wrapper"
-             (unqualify id))
       | Some "Random.self_init" ->
         emit ctx ~loc:e.pexp_loc "determinism"
           "Random.self_init makes runs irreproducible; thread an Nf_util.Rng \
@@ -451,31 +357,10 @@ let make_iterator ctx =
              id)
       | _ -> ())
     | Pexp_apply (f, args) -> (
-      let visit_args () = List.iter (fun (_, a) -> self.Ast_iterator.expr self a) args in
+      let visit_args () =
+        List.iter (fun (_, a) -> self.Ast_iterator.expr self a) args
+      in
       match ident_of_expr f with
-      | Some id when List.mem id poly_compare_idents && float_strict_here () ->
-        let operands =
-          List.filter_map
-            (fun (l, a) -> if l = Asttypes.Nolabel then Some a else None)
-            args
-        in
-        (match operands with
-        | [ a; b ] when obviously_non_float a || obviously_non_float b -> ()
-        | _ ->
-          let hint =
-            match unqualify id with
-            | "=" -> "Float.equal/Int.equal"
-            | "<>" -> "not (Float.equal ...)/not (Int.equal ...)"
-            | "compare" -> "Float.compare/Int.compare"
-            | op -> Printf.sprintf "Float.%s/Int.%s" op op
-          in
-          emit ctx ~loc:e.pexp_loc "float-compare"
-            (Printf.sprintf
-               "polymorphic %s on operands not provably non-float; use %s \
-                (nan-safe, monomorphic)"
-               (unqualify id) hint));
-        (* Skip [f] itself (it would double-report as a bare mention). *)
-        visit_args ()
       | Some id when List.mem id sort_idents ->
         (* Unordered Hashtbl traversal feeding a sort is the sanctioned
            idiom: the sort re-establishes a canonical order. *)
@@ -484,14 +369,6 @@ let make_iterator ctx =
           ~finally:(fun () -> ctx.sorted_depth <- ctx.sorted_depth - 1)
           visit_args
       | _ -> super.expr self e)
-    | Pexp_construct
-        ( { txt = Longident.Lident "::"; _ },
-          Some { pexp_desc = Pexp_tuple [ hd; tl ]; pexp_attributes = []; _ } )
-      ->
-      (* The [h :: t] sugar's argument tuple IS the cons cell, not a second
-         allocation: visit the components, skip the tuple node. *)
-      self.Ast_iterator.expr self hd;
-      self.Ast_iterator.expr self tl
     | Pexp_try (_, cases) ->
       check_handler_cases ctx cases ~exception_only:false;
       super.expr self e
@@ -501,37 +378,7 @@ let make_iterator ctx =
     | _ -> super.expr self e
   in
   let value_binding self vb =
-    with_allows vb.pvb_attributes @@ fun () ->
-    if List.exists is_hot_attr vb.pvb_attributes then begin
-      self.Ast_iterator.pat self vb.pvb_pat;
-      (* The outer curried parameter chain is the function head, not an
-         allocation; everything below it is the hot body. *)
-      let enter_hot body =
-        ctx.hot_depth <- ctx.hot_depth + 1;
-        Fun.protect
-          ~finally:(fun () -> ctx.hot_depth <- ctx.hot_depth - 1)
-          (fun () -> self.Ast_iterator.expr self body)
-      in
-      let rec strip e =
-        match e.pexp_desc with
-        | Pexp_fun (_, _, p, body) ->
-          self.Ast_iterator.pat self p;
-          strip body
-        | Pexp_newtype (_, body) -> strip body
-        | Pexp_function cases ->
-          List.iter
-            (fun c ->
-              self.Ast_iterator.pat self c.pc_lhs;
-              (match c.pc_guard with
-              | Some g -> enter_hot g
-              | None -> ());
-              enter_hot c.pc_rhs)
-            cases
-        | _ -> enter_hot e
-      in
-      strip vb.pvb_expr
-    end
-    else super.value_binding self vb
+    with_allows vb.pvb_attributes @@ fun () -> super.value_binding self vb
   in
   let structure self items =
     (* A floating [@@@nf.allow "..."] scopes over the rest of its

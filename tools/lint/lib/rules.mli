@@ -1,16 +1,32 @@
-(** The rule set, run as one scoped [Ast_iterator] traversal per file.
+(** The syntactic rule stage, run as one scoped [Ast_iterator]
+    traversal per file, plus the rule catalog shared by both stages.
 
-    Rules are syntactic (no typing pass); every finding is suppressible
-    with [@nf.allow "rule"] on the offending expression or its enclosing
-    let-binding, or file-wide with [@@@nf.allow "rule"]. A bare
-    [@nf.allow] (no payload) suppresses every rule in its scope. *)
+    Every finding is suppressible with [@nf.allow "rule"] on the
+    offending expression or its enclosing let-binding, or file-wide
+    with [@@@nf.allow "rule"]. A bare [@nf.allow] (no payload)
+    suppresses every rule in its scope. The payload grammar is
+    ["rule1 rule2 -- justification"]; most rules ignore the
+    justification, the typed [domain-safety] rule requires one. *)
 
-type meta = { id : string; summary : string }
+type stage = Syntactic | Typed
 
-(** One entry per rule, in display order. *)
+type meta = { id : string; summary : string; stage : stage }
+
+(** One entry per rule (both stages), in display order. *)
 val catalog : meta list
 
 val rule_ids : string list
+
+(** A parsed [@nf.allow] attribute. *)
+type allow = {
+  rules : string list;
+  justification : string option;
+  loc : Location.t;
+}
+
+(** [Some] iff the attribute is an [nf.allow]; bare [@nf.allow] yields
+    [{rules = ["*"]; _}]. Shared by both stages. *)
+val allow_of_attr : Parsetree.attribute -> allow option
 
 (** Mutable per-file check state. [enabled] filters rules by id
     (default: all). [file] is normalized with {!Config.normalize} and is
@@ -19,15 +35,15 @@ type ctx
 
 val make_ctx : ?enabled:(string -> bool) -> config:Config.t -> string -> ctx
 
-(** Run every expression-level rule over a parsed implementation,
-    accumulating findings into the context. *)
+(** Run every syntactic expression-level rule over a parsed
+    implementation, accumulating findings into the context. *)
 val check_structure : ctx -> Parsetree.structure -> unit
 
 (** Findings accumulated so far, in emission order. *)
 val findings : ctx -> Finding.t list
 
 (** Record an externally-produced finding (the driver uses this for
-    parse errors). *)
+    parse errors and cmt-stage diagnostics). *)
 val add_finding : ctx -> Finding.t -> unit
 
 (** File-level rule: the module must ship a [.mli] when the config
